@@ -1,0 +1,34 @@
+"""Figure 2: wasted computation due to padding in a transformer encoder layer.
+
+Plots (here: tabulates) the ratio of fully padded to unpadded FLOPs for one
+encoder layer, per dataset, as the batch size grows from 1 to 128.
+"""
+
+from harness import format_row, write_result
+
+from repro.analysis.flops import wasted_computation_ratio
+from repro.data.datasets import dataset_names, sample_lengths
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def compute_table():
+    rows = {}
+    for ds in dataset_names():
+        rows[ds] = [wasted_computation_ratio(sample_lengths(ds, bs))
+                    for bs in BATCH_SIZES]
+    return rows
+
+
+def test_fig02_wasted_computation(benchmark):
+    rows = benchmark(compute_table)
+    widths = [9] + [7] * len(BATCH_SIZES)
+    lines = ["Figure 2: relative computation of a fully padded encoder layer",
+             format_row(["dataset"] + [str(b) for b in BATCH_SIZES], widths)]
+    for ds, values in rows.items():
+        lines.append(format_row([ds] + values, widths))
+    write_result("fig02_wasted_computation", lines)
+    # Shape checks: waste grows with batch size and is largest for the
+    # short-sequence datasets.
+    assert rows["RACE"][-1] >= rows["RACE"][0]
+    assert rows["MNLI"][-1] > rows["Wiki128"][-1]

@@ -1,0 +1,44 @@
+"""Figure 9: variable-sized batched gemm (vgemm) on the GPU and Intel CPU.
+
+Compares CoRa's vgemm against a hand-optimized vgemm and the vendor
+library's fully padded batched gemm, reporting speedups relative to the
+hand-optimized ragged implementation (the paper's y-axis).
+"""
+
+from harness import format_row, gpu_model, intel_model, write_result
+
+from repro.ops import vgemm
+
+BATCH_SIZES = (2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def compute_table():
+    results = {}
+    for label, model in (("GPU", gpu_model()), ("Intel CPU", intel_model())):
+        rows = []
+        for bs in BATCH_SIZES:
+            problem = vgemm.paper_problem(bs, seed=bs)
+            hand = model.latency_ms(vgemm.hand_optimized_workload(problem))
+            cora = model.latency_ms(vgemm.cora_workload(problem))
+            padded = model.latency_ms(vgemm.fully_padded_workload(problem))
+            rows.append((bs, hand / cora, 1.0, hand / padded))
+        results[label] = rows
+    return results
+
+
+def test_fig09_vgemm(benchmark):
+    results = benchmark(compute_table)
+    widths = (10, 14, 18, 22)
+    lines = ["Figure 9: vgemm speedup relative to the hand-optimized ragged impl"]
+    for label, rows in results.items():
+        lines.append(f"-- {label} --")
+        lines.append(format_row(["batch", "Ragged-CoRa", "Ragged-HandOpt",
+                                 "FullyPadded-HandOpt"], widths))
+        for bs, cora, hand, padded in rows:
+            lines.append(format_row([bs, cora, hand, padded], widths))
+    write_result("fig09_vgemm", lines)
+    for label, rows in results.items():
+        # CoRa performs close to (or better than) the hand-optimized vgemm...
+        assert all(cora > 0.73 for _, cora, _, _ in rows)
+        # ...and the fully padded gemm is much slower at large batch sizes.
+        assert rows[-1][3] < 0.6

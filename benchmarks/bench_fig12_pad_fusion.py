@@ -1,0 +1,35 @@
+"""Figure 12: benefit of fusing the padding-change operators (MHA, RACE).
+
+CoRa fuses every AddPad / ChangePad / RemovePad operator into the
+neighbouring computation; this bench compares the MHA module with and
+without that fusion on the GPU.
+"""
+
+from harness import PAPER_BATCH_SIZES, format_row, gpu_model, write_result
+
+from repro.data.datasets import sample_lengths
+from repro.models.transformer import mha_workload
+
+
+def compute_table():
+    model = gpu_model()
+    rows = []
+    for bs in PAPER_BATCH_SIZES:
+        lengths = sample_lengths("RACE", bs)
+        fused = model.latency_ms(mha_workload(lengths, "cora", on_gpu=True,
+                                              fuse_pad_change=True))
+        unfused = model.latency_ms(mha_workload(lengths, "cora", on_gpu=True,
+                                                fuse_pad_change=False))
+        rows.append((bs, unfused, fused, unfused / fused))
+    return rows
+
+
+def test_fig12_pad_change_fusion(benchmark):
+    rows = benchmark(compute_table)
+    widths = (6, 12, 10, 10)
+    lines = ["Figure 12: MHA latency (ms) with and without pad-change fusion (RACE)",
+             format_row(["batch", "Unfused", "Fused", "speedup"], widths)]
+    for row in rows:
+        lines.append(format_row(list(row), widths))
+    write_result("fig12_pad_fusion", lines)
+    assert all(unfused > fused for _, unfused, fused, _ in rows)

@@ -1,0 +1,55 @@
+"""Figure 13 / Table 10 / Figure 24: per-operator breakdown of the encoder layer.
+
+Breaks the FT, FT-Eff and CoRa encoder implementations down into the
+paper's sub-graphs (Proj1, QKT, Softmax, AttnV, Proj2, FF1, FF2) for the
+RACE dataset at batch size 128 (Figure 13 / Table 10) and the CoLA dataset
+at batch size 32 (Figure 24).
+"""
+
+from harness import format_row, gpu_model, write_result
+
+from repro.data.datasets import sample_lengths
+from repro.models.transformer import (
+    encoder_layer_workload,
+    encoder_operator_breakdown,
+)
+
+GROUPS = ("Proj1", "QKT", "Softmax", "AttnV", "Proj2", "FF1", "FF2")
+CASES = (("RACE", 128), ("CoLA", 32))
+STRATEGIES = ("ft", "ft-eff", "cora")
+
+
+def compute_table():
+    model = gpu_model()
+    results = {}
+    for ds, bs in CASES:
+        lengths = sample_lengths(ds, bs)
+        per_case = {}
+        for strategy in STRATEGIES:
+            breakdown = model.evaluate(encoder_layer_workload(lengths, strategy))
+            grouped = encoder_operator_breakdown(
+                {k: v * 1e3 for k, v in breakdown.per_kernel_s.items()})
+            grouped["Total"] = breakdown.total_ms
+            per_case[strategy] = grouped
+        results[(ds, bs)] = per_case
+    return results
+
+
+def test_fig13_breakdown(benchmark):
+    results = benchmark(compute_table)
+    widths = (8,) + (9,) * (len(GROUPS) + 1)
+    lines = ["Figure 13 / Table 10 / Figure 24: encoder-layer breakdown (ms)"]
+    for (ds, bs), per_case in results.items():
+        lines.append(f"-- {ds}, batch size {bs} --")
+        lines.append(format_row(["impl"] + list(GROUPS) + ["Total"], widths))
+        for strategy, grouped in per_case.items():
+            lines.append(format_row(
+                [strategy.upper()] + [grouped[g] for g in GROUPS] + [grouped["Total"]],
+                widths))
+    write_result("fig13_breakdown", lines)
+    race = results[("RACE", 128)]
+    # CoRa beats FT-Eff on all three SDPA operators (the partially padded part).
+    for op in ("QKT", "Softmax", "AttnV"):
+        assert race["cora"][op] < race["ft-eff"][op]
+    # FT (fully padded) is the slowest overall.
+    assert race["ft"]["Total"] > race["cora"]["Total"]

@@ -1,0 +1,49 @@
+"""Figure 14: operation splitting and horizontal fusion on the AttnV operator.
+
+Relative execution times of the NoSplit / Split / Split-HFused variants on
+the GPU and the 64-core ARM CPU for the MNLI dataset.
+"""
+
+from harness import arm64_model, format_row, gpu_model, write_result
+
+from repro.data.datasets import sample_lengths
+from repro.ops.attention import split_hfuse_workload
+
+BATCH_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
+VARIANTS = ("NoSplit", "Split", "Split-HFused")
+
+
+def compute_table():
+    results = {}
+    for label, model in (("Nvidia GPU", gpu_model()), ("64-core ARM CPU", arm64_model())):
+        rows = []
+        for bs in BATCH_SIZES:
+            lengths = sample_lengths("MNLI", bs)
+            latencies = [model.latency_ms(split_hfuse_workload(lengths, "AttnV", v))
+                         for v in VARIANTS]
+            base = latencies[0]
+            rows.append((bs, *[lat / base for lat in latencies]))
+        results[label] = rows
+    return results
+
+
+def test_fig14_attnv_split_hfuse(benchmark):
+    results = benchmark(compute_table)
+    widths = (6, 10, 10, 14)
+    lines = ["Figure 14: AttnV relative execution time (MNLI)"]
+    for label, rows in results.items():
+        lines.append(f"-- {label} --")
+        lines.append(format_row(["batch"] + list(VARIANTS), widths))
+        for row in rows:
+            lines.append(format_row(list(row), widths))
+    write_result("fig14_attnv_split_hfuse", lines)
+    gpu_rows = results["Nvidia GPU"]
+    cpu_rows = results["64-core ARM CPU"]
+    # On the GPU, splitting alone hurts at small batch sizes and hfusion
+    # recovers the lost parallelism.
+    assert gpu_rows[0][2] > 1.0
+    assert gpu_rows[0][3] < gpu_rows[0][2]
+    # At large batch sizes splitting wins outright.
+    assert gpu_rows[-1][2] < 1.0
+    # On the CPU hfusion brings no extra benefit over splitting.
+    assert abs(cpu_rows[-1][3] - cpu_rows[-1][2]) < 0.05

@@ -1,0 +1,48 @@
+"""Figure 18: masked scaled dot-product attention (decoder-style masking).
+
+Compares CoRa-NoPad (triangular computation), CoRa-Pad (inner vloop fully
+padded) and a fully padded PyTorch implementation on the GPU for the RACE
+and MNLI datasets.
+"""
+
+from harness import PAPER_BATCH_SIZES, format_row, geomean, gpu_model, write_result
+
+from repro.data.datasets import sample_lengths
+from repro.ops.attention import masked_sdpa_workload
+
+STRATEGIES = (("pytorch", "PyTorch"), ("cora-pad", "CoRa-Pad"),
+              ("cora-nopad", "CoRa-NoPad"))
+
+
+def compute_table():
+    model = gpu_model()
+    rows = []
+    for ds in ("RACE", "MNLI"):
+        for bs in PAPER_BATCH_SIZES:
+            lengths = sample_lengths(ds, bs)
+            latencies = {key: model.latency_ms(masked_sdpa_workload(lengths, key))
+                         for key, _ in STRATEGIES}
+            rows.append((ds, bs, latencies))
+    return rows
+
+
+def test_fig18_masked_sdpa(benchmark):
+    rows = benchmark(compute_table)
+    widths = (8, 6, 10, 10, 12)
+    lines = ["Figure 18: masked SDPA execution time (ms, simulated V100)",
+             format_row(["dataset", "batch"] + [label for _, label in STRATEGIES],
+                        widths)]
+    for ds, bs, lat in rows:
+        lines.append(format_row([ds, bs] + [lat[k] for k, _ in STRATEGIES], widths))
+    vs_pad = geomean([lat["cora-pad"] / lat["cora-nopad"] for _, _, lat in rows])
+    vs_pt = geomean([lat["pytorch"] / lat["cora-nopad"] for _, _, lat in rows])
+    lines.append("")
+    lines.append(f"CoRa-NoPad speedup over CoRa-Pad: {vs_pad:.2f}x (paper: 1.34x)")
+    lines.append(f"CoRa-NoPad speedup over PyTorch : {vs_pt:.2f}x (paper: 2.46x)")
+    write_result("fig18_masked_sdpa", lines)
+    for _, _, lat in rows:
+        assert lat["cora-nopad"] < lat["cora-pad"] < lat["pytorch"]
+    # The benefit is less pronounced for MNLI (shorter sequences).
+    race = [lat["cora-pad"] / lat["cora-nopad"] for ds, _, lat in rows if ds == "RACE"]
+    mnli = [lat["cora-pad"] / lat["cora-nopad"] for ds, _, lat in rows if ds == "MNLI"]
+    assert geomean(race) > geomean(mnli)

@@ -1,0 +1,29 @@
+"""Figure 19 / Section D.5: forward-activation memory with and without ragged tensors."""
+
+from harness import format_row, geomean, write_result
+
+from repro.analysis.memory import memory_report
+from repro.data.datasets import dataset_names, sample_lengths
+
+
+def compute_table():
+    return memory_report({ds: sample_lengths(ds, 64) for ds in dataset_names()})
+
+
+def test_fig19_memory(benchmark):
+    report = benchmark(compute_table)
+    widths = (9, 14, 14, 10)
+    lines = ["Figure 19: encoder-layer forward-activation memory at batch size 64",
+             format_row(["dataset", "dense (MB)", "ragged (MB)", "relative"], widths)]
+    for ds, entry in report.items():
+        lines.append(format_row(
+            [ds, entry["dense_bytes"] / 2**20, entry["ragged_bytes"] / 2**20,
+             entry["relative"]], widths))
+    overall = geomean([entry["savings"] for entry in report.values()])
+    lines.append("")
+    lines.append(f"overall dense/ragged memory ratio: {overall:.2f}x (paper: 1.78x)")
+    write_result("fig19_memory", lines)
+    assert overall > 1.3
+    # Wiki512 / Wiki128 see only small benefits (Section D.5).
+    assert report["Wiki128"]["savings"] < report["MNLI"]["savings"]
+    assert report["Wiki512"]["savings"] < report["MNLI"]["savings"]

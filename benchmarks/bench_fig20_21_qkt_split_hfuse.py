@@ -1,0 +1,48 @@
+"""Figures 20-21: operation splitting and hfusion on the QKT operator.
+
+Figure 20 applies the optimisations to the outer non-reduction vloop;
+Figure 21 additionally splits the second vloop (Split2-HFused), which the
+paper finds is never better and often worse because of the extra generated
+code complexity.
+"""
+
+from harness import arm64_model, format_row, gpu_model, write_result
+
+from repro.data.datasets import sample_lengths
+from repro.ops.attention import split_hfuse_workload
+
+BATCH_SIZES = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def compute_table():
+    results = {}
+    for label, model in (("Nvidia GPU", gpu_model()), ("64-core ARM CPU", arm64_model())):
+        rows = []
+        for bs in BATCH_SIZES:
+            lengths = sample_lengths("MNLI", bs)
+            base = model.latency_ms(split_hfuse_workload(lengths, "QKT", "NoSplit"))
+            split = model.latency_ms(split_hfuse_workload(lengths, "QKT", "Split"))
+            hf1 = model.latency_ms(split_hfuse_workload(lengths, "QKT", "Split1-HFused"))
+            hf2 = model.latency_ms(split_hfuse_workload(lengths, "QKT", "Split2-HFused"))
+            rows.append((bs, 1.0, split / base, hf1 / base, hf2 / base))
+        results[label] = rows
+    return results
+
+
+def test_fig20_21_qkt_split_hfuse(benchmark):
+    results = benchmark(compute_table)
+    widths = (6, 9, 8, 14, 14)
+    lines = ["Figures 20-21: QKT relative execution time (MNLI)"]
+    for label, rows in results.items():
+        lines.append(f"-- {label} --")
+        lines.append(format_row(["batch", "NoSplit", "Split", "Split1-HFused",
+                                 "Split2-HFused"], widths))
+        for row in rows:
+            lines.append(format_row(list(row), widths))
+    write_result("fig20_21_qkt_split_hfuse", lines)
+    gpu_rows = results["Nvidia GPU"]
+    # Splitting the second vloop is never better than splitting only the first.
+    assert all(row[4] >= row[3] - 1e-9 for row in gpu_rows)
+    # On the CPU, splitting helps but hfusion adds nothing.
+    cpu_rows = results["64-core ARM CPU"]
+    assert cpu_rows[-1][2] < 1.0

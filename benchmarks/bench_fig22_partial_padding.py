@@ -1,0 +1,34 @@
+"""Figure 22: computation overhead of CoRa's partial padding."""
+
+from harness import format_row, write_result
+
+from repro.analysis.flops import partial_padding_overhead
+from repro.data.datasets import dataset_names, sample_lengths
+
+BATCH_SIZES = (32, 128)
+
+
+def compute_table():
+    rows = []
+    for bs in BATCH_SIZES:
+        for ds in dataset_names():
+            report = partial_padding_overhead(sample_lengths(ds, bs))
+            rows.append((ds, bs, report["dense"], report["actual"], report["ideal"]))
+    return rows
+
+
+def test_fig22_partial_padding(benchmark):
+    rows = benchmark(compute_table)
+    widths = (9, 6, 9, 9, 9)
+    lines = ["Figure 22: relative encoder computation (ideal = 1.0)",
+             format_row(["dataset", "batch", "Dense", "Actual", "Ideal"], widths)]
+    for row in rows:
+        lines.append(format_row(list(row), widths))
+    overhead_32 = [actual - 1.0 for _, bs, _, actual, _ in rows if bs == 32]
+    overhead_128 = [actual - 1.0 for _, bs, _, actual, _ in rows if bs == 128]
+    lines.append("")
+    lines.append(f"mean partial-padding overhead, batch 32 : {100 * sum(overhead_32) / len(overhead_32):.1f}%  (paper: 3.5%)")
+    lines.append(f"mean partial-padding overhead, batch 128: {100 * sum(overhead_128) / len(overhead_128):.1f}%  (paper: 2.3%)")
+    write_result("fig22_partial_padding", lines)
+    assert max(overhead_32) < 0.15
+    assert sum(overhead_128) / len(overhead_128) <= sum(overhead_32) / len(overhead_32) + 1e-9

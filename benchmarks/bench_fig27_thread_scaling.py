@@ -1,0 +1,41 @@
+"""Figure 27: MHA latency versus thread count on the ARM CPU (MNLI, batch 64)."""
+
+from harness import format_row, write_result
+
+from repro.baselines.dense_padded import framework_mha_latency_ms
+from repro.data.datasets import sample_lengths
+from repro.models.transformer import mha_workload
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import arm_cpu_64core
+
+THREADS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def compute_table():
+    lengths = sample_lengths("MNLI", 64)
+    rows = []
+    for threads in THREADS:
+        device = arm_cpu_64core(threads=threads)
+        model = CostModel(device)
+        pt = framework_mha_latency_ms(lengths, device, framework="pt")
+        tf = model.latency_ms(mha_workload(lengths, "tf"))
+        cora = model.latency_ms(mha_workload(lengths, "cora"))
+        rows.append((threads, pt, tf, cora))
+    return rows
+
+
+def test_fig27_thread_scaling(benchmark):
+    rows = benchmark(compute_table)
+    widths = (8, 10, 10, 10)
+    lines = ["Figure 27: MHA latency (ms) vs thread count (MNLI, batch 64)",
+             format_row(["threads", "PyTorch", "TF", "CoRa"], widths)]
+    for row in rows:
+        lines.append(format_row(list(row), widths))
+    write_result("fig27_thread_scaling", lines)
+    # TF and CoRa keep improving with more threads; PyTorch stops scaling
+    # (and degrades) beyond a handful of threads.
+    assert rows[-1][2] < rows[0][2]
+    assert rows[-1][3] < rows[0][3]
+    assert rows[-1][1] > rows[3][1]
+    # CoRa is the fastest at full thread count.
+    assert rows[-1][3] <= min(rows[-1][1], rows[-1][2])

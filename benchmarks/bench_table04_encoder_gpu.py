@@ -1,0 +1,49 @@
+"""Table 4 / Figure 11: transformer encoder layer latencies on the GPU.
+
+Reports the per-layer latency of PyTorch, FasterTransformer (FT), CoRa and
+FT-Eff for the eight datasets at batch sizes 32 / 64 / 128, plus the
+geomean speedups of Figure 11.
+"""
+
+from harness import PAPER_BATCH_SIZES, format_row, geomean, gpu_model, write_result
+
+from repro.data.datasets import dataset_names, sample_lengths
+from repro.models.transformer import encoder_layer_workload
+
+STRATEGIES = ("pytorch", "ft", "cora", "ft-eff")
+
+
+def compute_table():
+    model = gpu_model()
+    rows = []
+    for ds in dataset_names():
+        for bs in PAPER_BATCH_SIZES:
+            lengths = sample_lengths(ds, bs)
+            latencies = {
+                strategy: model.latency_ms(encoder_layer_workload(lengths, strategy))
+                for strategy in STRATEGIES
+            }
+            rows.append((ds, bs, latencies))
+    return rows
+
+
+def test_table04_encoder_gpu(benchmark):
+    rows = benchmark(compute_table)
+    widths = (9, 6, 9, 9, 9, 9)
+    lines = ["Table 4: encoder layer latencies (ms, simulated V100)",
+             format_row(["dataset", "batch", "PyTorch", "FT", "CoRa", "FT-Eff"],
+                        widths)]
+    for ds, bs, lat in rows:
+        lines.append(format_row([ds, bs, lat["pytorch"], lat["ft"],
+                                 lat["cora"], lat["ft-eff"]], widths))
+    speedup_pt = geomean([lat["pytorch"] / lat["cora"] for _, _, lat in rows])
+    speedup_ft = geomean([lat["ft"] / lat["cora"] for _, _, lat in rows])
+    ratio_fteff = geomean([lat["cora"] / lat["ft-eff"] for _, _, lat in rows])
+    lines.append("")
+    lines.append("Figure 11 summary (geomean over datasets and batch sizes):")
+    lines.append(f"  speedup over PyTorch : {speedup_pt:.2f}x  (paper: 1.6x)")
+    lines.append(f"  speedup over FT      : {speedup_ft:.2f}x")
+    lines.append(f"  CoRa / FT-Eff        : {ratio_fteff:.2f}   (paper: ~1.0)")
+    write_result("table04_encoder_gpu", lines)
+    assert 1.3 <= speedup_pt <= 2.0
+    assert 0.85 <= ratio_fteff <= 1.2

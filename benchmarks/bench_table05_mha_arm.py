@@ -1,0 +1,38 @@
+"""Table 5: MHA latencies on the 64-core ARM CPU (TF, TF-UB, CoRa)."""
+
+from harness import PAPER_BATCH_SIZES, arm64_model, format_row, geomean, write_result
+
+from repro.baselines.microbatch import microbatched_latency
+from repro.data.datasets import dataset_names, sample_lengths
+from repro.models.transformer import mha_workload
+
+
+def compute_table():
+    model = arm64_model()
+    rows = []
+    for ds in dataset_names():
+        for bs in PAPER_BATCH_SIZES:
+            lengths = sample_lengths(ds, bs)
+            tf = model.latency_ms(mha_workload(lengths, "tf"))
+            tfub = microbatched_latency(
+                lengths, lambda chunk: model.latency_ms(mha_workload(chunk, "tf")))
+            cora = model.latency_ms(mha_workload(lengths, "cora"))
+            rows.append((ds, bs, tf, tfub.best_latency_ms, tfub.best_micro_batch, cora))
+    return rows
+
+
+def test_table05_mha_arm(benchmark):
+    rows = benchmark(compute_table)
+    widths = (9, 6, 9, 9, 6, 9)
+    lines = ["Table 5: MHA latencies (ms, simulated 64-core ARM CPU)",
+             format_row(["dataset", "batch", "TF", "TF-UB", "uBS", "CoRa"], widths)]
+    for row in rows:
+        lines.append(format_row(list(row), widths))
+    vs_tf = geomean([tf / cora for _, _, tf, _, _, cora in rows])
+    vs_tfub = geomean([tfub / cora for _, _, _, tfub, _, cora in rows])
+    lines.append("")
+    lines.append(f"geomean speedup over TF   : {vs_tf:.2f}x (paper: 1.57x)")
+    lines.append(f"geomean speedup over TF-UB: {vs_tfub:.2f}x (paper: 1.37x)")
+    write_result("table05_mha_arm", lines)
+    assert vs_tf > 1.25
+    assert vs_tfub > 1.0

@@ -1,0 +1,74 @@
+"""Section 7.4 / Tables 7-8: prelude overheads.
+
+Measures the host-side time and memory needed to build the auxiliary data
+structures (storage offsets, loop-fusion maps) for a 6-layer encoder, for
+CoRa's dgraph-aware lowering versus the CSF-style scheme of prior sparse
+tensor compilers, plus the modelled host-to-device copy time.
+"""
+
+import numpy as np
+
+from harness import format_row, write_result
+
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.prelude import PreludeBuilder, build_sparse_scheme_aux
+from repro.core.storage import RaggedLayout
+from repro.data.datasets import sample_lengths
+from repro.models.config import PAPER_BASE_CONFIG
+
+CASES = (("CoLA", 32), ("CoLA", 128), ("RACE", 32), ("RACE", 128))
+
+
+def _attention_layout(lengths):
+    batch, s1, heads, s2 = Dim("b"), Dim("s1"), Dim("h"), Dim("s2")
+    return RaggedLayout(
+        [batch, s1, heads, s2],
+        [ConstExtent(len(lengths)), VarExtent(batch, lengths),
+         ConstExtent(PAPER_BASE_CONFIG.num_heads), VarExtent(batch, lengths)],
+    )
+
+
+def compute_table():
+    rows = []
+    for ds, bs in CASES:
+        lengths = sample_lengths(ds, bs)
+        layout = _attention_layout(lengths)
+        sparse = build_sparse_scheme_aux(layout)
+        builder = PreludeBuilder()
+        result = builder.build({"X": layout},
+                               fused_loops={"tokens": (lengths, 1)},
+                               copy_to_device=True)
+        rows.append({
+            "dataset": ds,
+            "batch": bs,
+            "sparse_time_ms": sparse.build_time_s * 1e3,
+            "sparse_mem_kb": sparse.memory_bytes / 1024,
+            "cora_storage_time_ms": result.storage_time_s * 1e3,
+            "cora_storage_mem_kb": result.storage_memory_bytes / 1024,
+            "cora_fusion_time_ms": result.fusion_time_s * 1e3,
+            "cora_fusion_mem_kb": result.fusion_memory_bytes / 1024,
+            "copy_time_ms": result.copy_time_s * 1e3,
+        })
+    return rows
+
+
+def test_table07_08_prelude(benchmark):
+    rows = benchmark(compute_table)
+    widths = (8, 6, 12, 12, 13, 13, 12, 12, 10)
+    lines = ["Tables 7-8: prelude overheads (per mini-batch; times in ms, memory in kB)",
+             format_row(["dataset", "batch", "sparse t", "sparse kB",
+                         "CoRa stor t", "CoRa stor kB", "CoRa fuse t",
+                         "CoRa fuse kB", "copy t"], widths)]
+    for r in rows:
+        lines.append(format_row(
+            [r["dataset"], r["batch"], r["sparse_time_ms"], r["sparse_mem_kb"],
+             r["cora_storage_time_ms"], r["cora_storage_mem_kb"],
+             r["cora_fusion_time_ms"], r["cora_fusion_mem_kb"],
+             r["copy_time_ms"]], widths))
+    write_result("table07_08_prelude", lines)
+    for r in rows:
+        # CoRa's storage scheme needs far less auxiliary memory than the
+        # CSF-style scheme, and the loop-fusion maps dominate CoRa's part.
+        assert r["cora_storage_mem_kb"] * 20 < r["sparse_mem_kb"]
+        assert r["cora_fusion_mem_kb"] > r["cora_storage_mem_kb"]

@@ -1,0 +1,76 @@
+"""Table 9 / Figure 25: MHA on the 8- and 64-core ARM CPUs with micro-batching.
+
+Reports PyTorch (PT), micro-batched PyTorch (PT-UB), TensorFlow (TF),
+micro-batched TensorFlow (TF-UB) and CoRa latencies plus the optimal
+micro-batch sizes, and the per-operator breakdown of Figure 25 for four
+representative cases.
+"""
+
+from harness import arm8_model, arm64_model, format_row, write_result
+
+from repro.baselines.dense_padded import framework_mha_latency_ms
+from repro.baselines.microbatch import microbatched_latency
+from repro.data.datasets import dataset_names, sample_lengths
+from repro.models.transformer import encoder_operator_breakdown, mha_workload
+from repro.substrates.device import arm_cpu_8core, arm_cpu_64core
+
+BATCH_SIZES = (32, 64, 128)
+BREAKDOWN_CASES = (("MNLI", 128), ("Wiki128", 32), ("CoLA", 32), ("RACE", 128))
+
+
+def compute_table():
+    rows = []
+    for device, model, label in ((arm_cpu_8core(), arm8_model(), "8-core"),
+                                 (arm_cpu_64core(), arm64_model(), "64-core")):
+        for ds in dataset_names():
+            for bs in BATCH_SIZES:
+                lengths = sample_lengths(ds, bs)
+                pt = framework_mha_latency_ms(lengths, device, framework="pt")
+                ptub = microbatched_latency(
+                    lengths,
+                    lambda chunk: framework_mha_latency_ms(chunk, device, framework="pt"))
+                tf = model.latency_ms(mha_workload(lengths, "tf"))
+                tfub = microbatched_latency(
+                    lengths, lambda chunk: model.latency_ms(mha_workload(chunk, "tf")))
+                cora = model.latency_ms(mha_workload(lengths, "cora"))
+                rows.append((label, ds, bs, pt, ptub.best_latency_ms,
+                             ptub.best_micro_batch, tf, tfub.best_latency_ms,
+                             tfub.best_micro_batch, cora))
+    breakdowns = {}
+    model = arm64_model()
+    for ds, bs in BREAKDOWN_CASES:
+        lengths = sample_lengths(ds, bs)
+        per_strategy = {}
+        for strategy in ("tf", "cora"):
+            result = model.evaluate(mha_workload(lengths, strategy))
+            per_strategy[strategy] = encoder_operator_breakdown(
+                {k: v * 1e3 for k, v in result.per_kernel_s.items()})
+        breakdowns[(ds, bs)] = per_strategy
+    return rows, breakdowns
+
+
+def test_table09_mha_cpu_microbatch(benchmark):
+    rows, breakdowns = benchmark(compute_table)
+    widths = (8, 9, 6, 9, 9, 5, 9, 9, 5, 9)
+    lines = ["Table 9: MHA latencies (ms) on the ARM CPUs",
+             format_row(["cpu", "dataset", "batch", "PT", "PT-UB", "uBS",
+                         "TF", "TF-UB", "uBS", "CoRa"], widths)]
+    for row in rows:
+        lines.append(format_row(list(row), widths))
+    lines.append("")
+    lines.append("Figure 25: MHA per-operator breakdown on the 64-core CPU (ms)")
+    groups = ("Proj1", "QKT", "Softmax", "AttnV", "Proj2")
+    bwidths = (10, 6, 6) + (9,) * len(groups)
+    lines.append(format_row(["dataset", "batch", "impl"] + list(groups), bwidths))
+    for (ds, bs), per_strategy in breakdowns.items():
+        for strategy, grouped in per_strategy.items():
+            lines.append(format_row([ds, bs, strategy.upper()]
+                                    + [grouped.get(g, 0.0) for g in groups], bwidths))
+    write_result("table09_mha_cpu_microbatch", lines)
+
+    rows64 = [r for r in rows if r[0] == "64-core"]
+    # PyTorch's MHA does not scale to the 64-core part (Figure 27 pathology):
+    # it is far slower than TensorFlow there.
+    assert all(r[3] > 2 * r[6] for r in rows64)
+    # CoRa is never slower than TF on the 64-core CPU.
+    assert all(r[9] <= r[6] * 1.05 for r in rows64)

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+import os
+
+# Make `import harness` work when pytest is invoked from the repo root.
+sys.path.insert(0, os.path.dirname(__file__))

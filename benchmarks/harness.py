@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper's
+evaluation: it builds the same workloads (datasets x batch sizes x
+execution strategies), evaluates them on the simulated devices, prints the
+resulting rows and writes them to ``benchmarks/results/<name>.txt`` so they
+survive pytest's output capturing.  The pytest-benchmark fixture times the
+workload-construction + evaluation path itself.
+
+Absolute latencies come from the analytical device model (see
+``repro.substrates``) and are not expected to match the paper; the *shape*
+of each result (who wins, by roughly what factor, where crossovers fall) is
+what the harness reproduces, and EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import arm_cpu_8core, arm_cpu_64core, intel_cpu, v100_gpu
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Datasets in the paper's canonical order (Table 3).
+PAPER_BATCH_SIZES = (32, 64, 128)
+
+
+def gpu_model() -> CostModel:
+    return CostModel(v100_gpu())
+
+
+def intel_model() -> CostModel:
+    return CostModel(intel_cpu())
+
+
+def arm64_model() -> CostModel:
+    return CostModel(arm_cpu_64core())
+
+
+def arm8_model() -> CostModel:
+    return CostModel(arm_cpu_8core())
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    return float(np.exp(np.mean(np.log(values)))) if values else float("nan")
+
+
+def write_result(name: str, lines: Iterable[str]) -> str:
+    """Print the reproduced rows and persist them under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(text)
+    return path
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    parts = []
+    for cell, width in zip(cells, widths):
+        if isinstance(cell, float):
+            parts.append(f"{cell:>{width}.2f}")
+        else:
+            parts.append(f"{str(cell):>{width}}")
+    return "  ".join(parts)

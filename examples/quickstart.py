@@ -1,0 +1,83 @@
+"""Quickstart: express, schedule, compile and run a ragged operator.
+
+This walks through the example of Figure 1 / Listing 1 of the CoRa paper:
+an elementwise operator over a batch of variable-length sequences.  It
+shows the three stages of the pipeline -- describing the computation,
+scheduling it (padding + loop fusion), and executing the generated kernel --
+and prints the generated Python kernel so you can see the prelude-built
+auxiliary arrays being indexed.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.dims import Dim
+from repro.core.executor import Executor
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.operator import compute, input_tensor
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.schedule import Schedule
+from repro.core.storage import RaggedLayout
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Describe the computation (the Ragged API of Listing 1).
+    # ------------------------------------------------------------------ #
+    lengths = np.array([5, 2, 3])
+    batch, seq = Dim("batch"), Dim("seq")
+
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lengths)), VarExtent(batch, lengths)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lengths)), VarExtent(batch, lengths)],
+                 lambda o, i: 2.0 * A[o, i])
+    print("operator:", op)
+
+    # ------------------------------------------------------------------ #
+    # 2. Schedule it: pad the vloop to 2, the output storage to 4, and
+    #    fuse the batch and sequence loops (exactly Listing 1).
+    # ------------------------------------------------------------------ #
+    schedule = Schedule(op)
+    schedule.pad_loop(seq, 2)
+    schedule.pad_dimension(seq, 4)
+    schedule.pad_input_dimension("A", seq, 2)
+    schedule.fuse_loops(batch, seq)
+
+    # ------------------------------------------------------------------ #
+    # 3. Compile and run.
+    # ------------------------------------------------------------------ #
+    executor = Executor()
+    compiled = executor.compile(schedule)
+    print("\n--- generated kernel ---------------------------------------")
+    print(compiled.source)
+
+    input_layout = RaggedLayout(
+        [batch, seq],
+        [ConstExtent(len(lengths)), VarExtent(batch, lengths)],
+        storage_padding={seq: 2},
+    )
+    a = RaggedTensor.random(input_layout, seed=0)
+    out, report = executor.run(compiled, {"A": a})
+
+    print("--- results ------------------------------------------------")
+    for b in range(len(lengths)):
+        valid = int(lengths[b])
+        expected = 2 * a.valid_slice(b)[:valid]
+        got = out.valid_slice(b)[:valid]
+        print(f"sequence {b} (length {valid}): max error "
+              f"{np.abs(expected - got).max():.2e}")
+    # The fused kernel's own report no longer "sees" the raggedness (the
+    # fused loop has a single constant bound), so quantify the padding that
+    # a fully dense execution would have needed using the unfused schedule.
+    unfused = Schedule(op)
+    unfused.pad_input_dimension("A", seq, 2)
+    _, unfused_report = executor.build_and_run(unfused, {"A": a})
+    print(f"\nragged FLOPs executed : {unfused_report.flops}")
+    print(f"fully padded FLOPs    : {unfused_report.dense_flops}")
+    print(f"padding waste avoided : {unfused_report.padding_waste:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

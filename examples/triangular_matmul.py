@@ -1,0 +1,90 @@
+"""Example: triangular matrix multiplication as a ragged operator.
+
+A lower-triangular matrix is a ragged tensor: row ``r`` holds ``r + 1``
+densely packed values.  This example
+
+1. expresses trmm through the compiler core with a *variable reduction
+   bound* (the reduction loop of row ``r`` runs to ``r + 1``), generating a
+   Python kernel and checking it against NumPy;
+2. runs the larger, tile-based ragged trmm from the operator library and
+   compares the work it performs against the fully padded dense gemm;
+3. evaluates the Figure 10 variants (operation splitting + thread
+   remapping) and the Taco-like sparse-compiler baseline on the simulated
+   GPU.
+
+Run with:  python examples/triangular_matmul.py
+"""
+
+import numpy as np
+
+from repro.baselines.sparse_compiler import CSRMatrix, csr_spmm, taco_trmm_workload
+from repro.core.dims import Dim
+from repro.core.executor import Executor
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import LoopVar
+from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
+from repro.core.schedule import Schedule
+from repro.ops import trmm
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import v100_gpu
+
+
+def compiled_trmm_demo(n: int = 12) -> None:
+    """Express trmm in the Ragged API and run the generated kernel."""
+    row, col = Dim("row"), Dim("col")
+    L = input_tensor("L", [row, Dim("k_in")], [ConstExtent(n), ConstExtent(n)])
+    B = input_tensor("B", [Dim("k_in2"), col], [ConstExtent(n), ConstExtent(n)])
+    # The reduction bound is a function of the row index: k in [0, r].
+    k = reduce_axis(VarExtent(row, lambda r: r + 1), "k")
+    op = compute("T", [row, col], [ConstExtent(n), ConstExtent(n)],
+                 lambda r, c: sum_reduce(L[r, LoopVar(k.dim)] * B[LoopVar(k.dim), c], k))
+
+    lower = trmm.make_lower_triangular(n, seed=0)
+    dense = np.random.default_rng(1).standard_normal((n, n)).astype(np.float32)
+    out, report = Executor().build_and_run(Schedule(op), {"L": lower, "B": dense})
+    err = np.abs(out.to_dense() - lower @ dense).max()
+    print(f"[compiler]  n={n}: max error {err:.2e}, "
+          f"ragged FLOPs {report.flops} vs dense {report.dense_flops} "
+          f"({report.padding_waste:.2f}x saved)")
+
+
+def library_trmm_demo(n: int = 1024) -> None:
+    """The tile-based ragged trmm of the operator library."""
+    lower = trmm.make_lower_triangular(n, seed=0)
+    dense = np.random.default_rng(1).standard_normal((n, n)).astype(np.float32)
+    out = trmm.trmm_ragged(lower, dense, tile=64)
+    err = np.abs(out - lower @ dense).max()
+    saved = trmm.trmm_dense_flops(n) / trmm.trmm_ragged_flops(n)
+    print(f"[library ]  n={n}: max error {err:.2e}, "
+          f"{saved:.2f}x fewer FLOPs than the dense gemm")
+
+
+def simulated_figure10_demo() -> None:
+    """Figure 10 shapes on the simulated V100."""
+    model = CostModel(v100_gpu())
+    print("\nSimulated V100 latencies (ms):")
+    header = f"{'n':>6} {'sgemm':>9} {'cuBLAS trmm':>12} {'CoRa-SB':>9} {'Taco CSR':>9}"
+    print(header)
+    for n in (512, 2048, 8192):
+        sgemm = model.latency_ms(trmm.cublas_sgemm_workload(n))
+        cublas = model.latency_ms(trmm.cublas_trmm_workload(n))
+        cora = model.latency_ms(trmm.cora_trmm_workload(n))
+        taco = model.latency_ms(taco_trmm_workload(n, "csr"))
+        print(f"{n:>6} {sgemm:>9.2f} {cublas:>12.2f} {cora:>9.2f} {taco:>9.2f}")
+
+
+def sparse_baseline_demo(n: int = 64) -> None:
+    """The Taco-like CSR kernel is correct, just slow."""
+    lower = trmm.make_lower_triangular(n, seed=2)
+    dense = np.random.default_rng(3).standard_normal((n, 8)).astype(np.float32)
+    csr = CSRMatrix.from_dense(lower)
+    err = np.abs(csr_spmm(csr, dense) - lower @ dense).max()
+    print(f"\n[Taco CSR]  n={n}: max error {err:.2e}, "
+          f"index arrays occupy {csr.index_bytes} bytes for {csr.nnz} non-zeros")
+
+
+if __name__ == "__main__":
+    compiled_trmm_demo()
+    library_trmm_demo()
+    simulated_figure10_demo()
+    sparse_baseline_demo()

@@ -1,0 +1,16 @@
+"""Setup shim for environments without PEP 517 build isolation support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Python reproduction of the CoRa tensor compiler for ragged tensors "
+        "(MLSys 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

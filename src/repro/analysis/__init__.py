@@ -1,0 +1,20 @@
+"""Analytical models: FLOP counting and activation-memory accounting."""
+
+from repro.analysis.flops import (
+    attention_flops,
+    encoder_layer_flops,
+    mha_flops,
+    partial_padding_overhead,
+    wasted_computation_ratio,
+)
+from repro.analysis.memory import activation_memory_bytes, memory_savings_ratio
+
+__all__ = [
+    "encoder_layer_flops",
+    "mha_flops",
+    "attention_flops",
+    "wasted_computation_ratio",
+    "partial_padding_overhead",
+    "activation_memory_bytes",
+    "memory_savings_ratio",
+]

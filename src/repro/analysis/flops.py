@@ -1,0 +1,165 @@
+"""Analytical FLOP models of the transformer encoder layer.
+
+These are the "computed analytically" quantities behind Figure 2 (wasted
+computation due to padding), Figure 22 (overhead of CoRa's partial padding)
+and the relative-computation discussion of Section 7.2.
+
+The encoder layer operators and their per-sequence FLOP counts, for a
+sequence of length ``s`` with hidden size ``H``, ``A`` heads, head size
+``H/A`` and feed-forward size ``F``:
+
+===========  =====================================================
+Operator      FLOPs
+===========  =====================================================
+QKV Proj      ``3 * 2 s H H``   (linear in ``s``)
+QK^T          ``2 s^2 H``       (quadratic in ``s``)
+Softmax       ``~8 A s^2``
+AttnV         ``2 s^2 H``
+Proj2         ``2 s H H``
+FF1           ``2 s H F``
+FF2           ``2 s F H``
+Bias/residual/layernorm  ``~14 s H + 8 s F`` (small, linear)
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.extents import ceil_to
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+
+
+def _as_lengths(lengths: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(lengths, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("lengths must be a non-empty 1-D sequence")
+    return arr
+
+
+def attention_flops(lengths: Sequence[int],
+                    config: TransformerConfig = PAPER_BASE_CONFIG,
+                    masked: bool = False) -> float:
+    """FLOPs of the scaled dot-product attention operators (QK^T, softmax, AttnV).
+
+    With ``masked=True`` only the lower-triangular half of each attention
+    matrix is computed (the masked MHA of a decoder, Section D.3), halving
+    the quadratic terms.
+    """
+    s = _as_lengths(lengths)
+    h = config.hidden_size
+    a = config.num_heads
+    quad = np.square(s)
+    factor = 0.5 if masked else 1.0
+    qkt = 2.0 * quad * h * factor
+    softmax = 8.0 * a * quad * factor
+    attnv = 2.0 * quad * h * factor
+    return float((qkt + softmax + attnv).sum())
+
+
+def mha_flops(lengths: Sequence[int],
+              config: TransformerConfig = PAPER_BASE_CONFIG,
+              masked: bool = False) -> float:
+    """FLOPs of the full multi-head attention module (projections + SDPA)."""
+    s = _as_lengths(lengths)
+    h = config.hidden_size
+    linear = (3 * 2.0 * s * h * h) + (2.0 * s * h * h)  # QKV proj + output proj
+    return float(linear.sum()) + attention_flops(lengths, config, masked=masked)
+
+
+def encoder_layer_flops(lengths: Sequence[int],
+                        config: TransformerConfig = PAPER_BASE_CONFIG,
+                        masked: bool = False) -> float:
+    """FLOPs of one transformer encoder layer for the given sequence lengths."""
+    s = _as_lengths(lengths)
+    h = config.hidden_size
+    f = config.ff_size
+    ff = 2.0 * s * h * f + 2.0 * s * f * h
+    small = 14.0 * s * h + 8.0 * s * f
+    return mha_flops(lengths, config, masked=masked) + float((ff + small).sum())
+
+
+def padded_lengths(lengths: Sequence[int], pad_to: Optional[int] = None) -> np.ndarray:
+    """Replace every length by the batch maximum (full padding)."""
+    s = np.asarray(lengths, dtype=np.int64)
+    target = int(s.max()) if pad_to is None else int(pad_to)
+    return np.full(s.shape, target, dtype=np.int64)
+
+
+def wasted_computation_ratio(lengths: Sequence[int],
+                             config: TransformerConfig = PAPER_BASE_CONFIG,
+                             ) -> float:
+    """Ratio of fully padded to unpadded encoder-layer FLOPs (Figure 2)."""
+    dense = encoder_layer_flops(padded_lengths(lengths), config)
+    ragged = encoder_layer_flops(lengths, config)
+    return dense / ragged
+
+
+def cora_padded_lengths(lengths: Sequence[int],
+                        config: TransformerConfig = PAPER_BASE_CONFIG,
+                        ) -> Dict[str, np.ndarray]:
+    """The (partially padded) lengths CoRa's schedules actually compute with.
+
+    Returns the per-sequence lengths used by the quadratic SDPA operators
+    (each padded to ``loop_pad``) and the bulk-padded lengths used by the
+    fused linear operators (total padded to a multiple of ``bulk_pad`` by
+    appending a padding "sequence", Section 7.2).
+    """
+    s = np.asarray(lengths, dtype=np.int64)
+    sdpa = ceil_to(s, config.loop_pad)
+    total = int(s.sum())
+    bulk_total = int(ceil_to(total, config.bulk_pad))
+    extra = bulk_total - total
+    linear = np.concatenate([s, np.asarray([extra], dtype=np.int64)]) if extra else s.copy()
+    return {"sdpa": sdpa, "linear": linear}
+
+
+def partial_padding_overhead(lengths: Sequence[int],
+                             config: TransformerConfig = PAPER_BASE_CONFIG,
+                             ) -> Dict[str, float]:
+    """Relative encoder-layer computation for Figure 22.
+
+    Returns the FLOPs of the fully padded ("dense"), CoRa partially padded
+    ("actual") and unpadded ("ideal") executions, each normalised to the
+    ideal case.
+    """
+    s = np.asarray(lengths, dtype=np.int64)
+    ideal = encoder_layer_flops(s, config)
+    dense = encoder_layer_flops(padded_lengths(s), config)
+
+    padded = cora_padded_lengths(s, config)
+    h = config.hidden_size
+    f = config.ff_size
+    lin = padded["linear"].astype(np.float64)
+    linear_flops = float(((3 * 2.0 * lin * h * h) + (2.0 * lin * h * h)
+                          + (2.0 * lin * h * f + 2.0 * lin * f * h)
+                          + (14.0 * lin * h + 8.0 * lin * f)).sum())
+    actual = linear_flops + attention_flops(padded["sdpa"], config)
+    return {
+        "dense": dense / ideal,
+        "actual": actual / ideal,
+        "ideal": 1.0,
+    }
+
+
+def masked_sdpa_flops(lengths: Sequence[int],
+                      config: TransformerConfig = PAPER_BASE_CONFIG,
+                      strategy: str = "nopad") -> float:
+    """FLOPs of the masked SDPA module under the three Figure 18 strategies.
+
+    * ``"nopad"``  -- both vloops partially padded (CoRa-NoPad): triangular.
+    * ``"pad"``    -- the inner (row-length) vloop fully padded (CoRa-Pad):
+      rectangular per sequence, ragged across the batch.
+    * ``"dense"``  -- both vloops fully padded (PyTorch): rectangular at the
+      batch maximum.
+    """
+    s = np.asarray(lengths, dtype=np.float64)
+    if strategy == "nopad":
+        return attention_flops(np.asarray(lengths), config, masked=True)
+    if strategy == "pad":
+        return attention_flops(np.asarray(lengths), config, masked=False)
+    if strategy == "dense":
+        return attention_flops(padded_lengths(lengths), config, masked=False)
+    raise ValueError(f"unknown masked-SDPA strategy {strategy!r}")

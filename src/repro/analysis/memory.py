@@ -1,0 +1,82 @@
+"""Forward-activation memory accounting (Section D.5 / Figure 19).
+
+The paper computes, analytically, the total size of the forward activations
+of one encoder layer with and without ragged tensor storage, taking CoRa's
+partial padding into account.  Activations are dominated by:
+
+* the per-token hidden / feed-forward tensors (size linear in the sequence
+  length): the QKV projection output, the attention output, the two
+  feed-forward activations, residual/bias/layernorm intermediates;
+* the per-head attention matrices (size quadratic in the sequence length):
+  the QK^T scores and the softmax output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.flops import cora_padded_lengths, padded_lengths
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+
+_BYTES_PER_ELEMENT = 4  # single precision
+
+
+def _activation_elements(lengths: np.ndarray, config: TransformerConfig,
+                         attention_lengths: np.ndarray) -> float:
+    """Number of forward-activation elements of one encoder layer."""
+    s = lengths.astype(np.float64)
+    sq = attention_lengths.astype(np.float64)
+    h = config.hidden_size
+    f = config.ff_size
+    a = config.num_heads
+    # Linear-in-s activations: QKV (3H), attention output (H), proj2 output
+    # (H), FF1 output (F), FF2 output (H), two layernorm outputs (2H).
+    linear = s * (3 * h + h + h + f + h + 2 * h)
+    # Quadratic-in-s activations: QK^T scores and softmax output, per head.
+    quadratic = 2.0 * a * np.square(sq)
+    return float(linear.sum() + quadratic.sum())
+
+
+def activation_memory_bytes(lengths: Sequence[int],
+                            config: TransformerConfig = PAPER_BASE_CONFIG,
+                            ragged: bool = True) -> float:
+    """Forward-activation bytes of one encoder layer.
+
+    With ``ragged=True`` the tensors use CoRa's ragged storage (including
+    its partial padding); with ``ragged=False`` every tensor is padded to
+    the batch maximum sequence length.
+    """
+    s = np.asarray(lengths, dtype=np.int64)
+    if ragged:
+        padded = cora_padded_lengths(s, config)
+        elements = _activation_elements(padded["linear"], config, padded["sdpa"])
+    else:
+        dense = padded_lengths(s)
+        elements = _activation_elements(dense, config, dense)
+    return elements * _BYTES_PER_ELEMENT
+
+
+def memory_savings_ratio(lengths: Sequence[int],
+                         config: TransformerConfig = PAPER_BASE_CONFIG) -> float:
+    """Dense-to-ragged forward-activation memory ratio (>= 1)."""
+    dense = activation_memory_bytes(lengths, config, ragged=False)
+    ragged = activation_memory_bytes(lengths, config, ragged=True)
+    return dense / ragged
+
+
+def memory_report(lengths_by_dataset: Dict[str, Sequence[int]],
+                  config: TransformerConfig = PAPER_BASE_CONFIG) -> Dict[str, Dict[str, float]]:
+    """Per-dataset dense vs ragged activation memory (Figure 19)."""
+    report: Dict[str, Dict[str, float]] = {}
+    for name, lengths in lengths_by_dataset.items():
+        dense = activation_memory_bytes(lengths, config, ragged=False)
+        ragged = activation_memory_bytes(lengths, config, ragged=True)
+        report[name] = {
+            "dense_bytes": dense,
+            "ragged_bytes": ragged,
+            "relative": ragged / dense,
+            "savings": dense / ragged,
+        }
+    return report

@@ -1,0 +1,15 @@
+"""Baseline execution strategies CoRa is compared against.
+
+* :mod:`repro.baselines.dense_padded` -- fully padded framework execution
+  (PyTorch / TensorFlow style).
+* :mod:`repro.baselines.ft` -- FasterTransformer (FT) and its
+  EffectiveTransformer variant (FT-Eff).
+* :mod:`repro.baselines.microbatch` -- micro-batched execution (TF-UB /
+  PT-UB of Table 9): trade batch parallelism for less padding.
+* :mod:`repro.baselines.sparse_compiler` -- a Taco-like sparse tensor
+  compiler baseline using CSR / BCSR storage (Table 6).
+"""
+
+from repro.baselines import dense_padded, ft, microbatch, sparse_compiler
+
+__all__ = ["dense_padded", "ft", "microbatch", "sparse_compiler"]

@@ -1,0 +1,63 @@
+"""Fully padded framework baselines (PyTorch / TensorFlow style execution).
+
+A deep-learning framework executing a ragged mini-batch pads every sequence
+to the batch maximum, dispatches one (vendor-library) kernel per framework
+operator, and pays a per-operator dispatch overhead.  These builders wrap
+the strategy implementations in :mod:`repro.models.transformer` and add the
+framework-specific knobs used by the CPU experiments (Tables 5 and 9,
+Figure 27): TensorFlow scales reasonably with cores, while PyTorch's MHA
+scales poorly beyond a handful of threads on the 64-core ARM CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+from repro.models.transformer import encoder_layer_workload, mha_workload
+from repro.substrates.costmodel import CostModel, Workload
+from repro.substrates.device import Device
+
+
+def framework_encoder_workload(lengths: Sequence[int],
+                               config: TransformerConfig = PAPER_BASE_CONFIG,
+                               on_gpu: bool = True) -> Workload:
+    """A fully padded framework execution of one encoder layer."""
+    return encoder_layer_workload(lengths, strategy="pytorch", config=config,
+                                  on_gpu=on_gpu)
+
+
+def framework_mha_workload(lengths: Sequence[int],
+                           framework: str = "tf",
+                           config: TransformerConfig = PAPER_BASE_CONFIG,
+                           ) -> Workload:
+    """A fully padded framework execution of the MHA module."""
+    return mha_workload(lengths, strategy=framework, config=config, on_gpu=False)
+
+
+#: Threads beyond which PyTorch's ARM CPU MHA stops scaling (Figure 27).
+PYTORCH_SCALING_KNEE = 8
+#: Per-extra-thread contention penalty applied to PyTorch beyond the knee.
+PYTORCH_CONTENTION = 0.35
+
+
+def framework_mha_latency_ms(lengths: Sequence[int], device: Device,
+                             framework: str = "tf",
+                             config: TransformerConfig = PAPER_BASE_CONFIG,
+                             ) -> float:
+    """Latency of a framework MHA execution, including the PyTorch
+    thread-scaling pathology observed in the paper (Figure 27, Table 9)."""
+    workload = framework_mha_workload(lengths, framework=framework, config=config)
+    latency = CostModel(device).latency_ms(workload)
+    if framework.lower() in ("pt", "pytorch") and not device.is_gpu:
+        threads = device.parallel_units
+        if threads > PYTORCH_SCALING_KNEE:
+            # PyTorch's intra-op thread pool contends on the many-core part:
+            # latency *increases* with the thread count beyond the knee.
+            over = threads - PYTORCH_SCALING_KNEE
+            # What PyTorch would achieve with only `knee` threads:
+            knee_scale = threads / PYTORCH_SCALING_KNEE
+            latency = latency * knee_scale * (1.0 + PYTORCH_CONTENTION * over / PYTORCH_SCALING_KNEE)
+    return latency

@@ -1,0 +1,36 @@
+"""FasterTransformer baselines (FT and FT-Eff).
+
+FasterTransformer is NVIDIA's heavily hand-optimized transformer
+implementation: cuBLAS gemms plus hand-written CUDA kernels for the rest.
+The *EffectiveTransformer* optimisation (FT-Eff) removes padding for every
+operator outside scaled dot-product attention by packing the valid tokens
+before the linear operators and re-adding padding before SDPA; the plain FT
+configuration keeps full padding everywhere (paper Figure 3, Section 7.2).
+
+Both builders delegate to :func:`repro.models.transformer.encoder_layer_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+from repro.models.transformer import encoder_layer_workload
+from repro.substrates.costmodel import Workload
+
+
+def ft_workload(lengths: Sequence[int],
+                config: TransformerConfig = PAPER_BASE_CONFIG) -> Workload:
+    """FasterTransformer without the EffectiveTransformer optimisation."""
+    return encoder_layer_workload(lengths, strategy="ft", config=config)
+
+
+def ft_eff_workload(lengths: Sequence[int],
+                    config: TransformerConfig = PAPER_BASE_CONFIG) -> Workload:
+    """FasterTransformer with the EffectiveTransformer optimisation (FT-Eff)."""
+    return encoder_layer_workload(lengths, strategy="ft-eff", config=config)
+
+
+def kernel_count(workload: Workload) -> int:
+    """Number of kernel launches in a workload (CoRa: 9, FasterTransformer: 12)."""
+    return len(workload.kernels)

@@ -1,0 +1,77 @@
+"""Micro-batched execution (the TF-UB / PT-UB configurations of Table 9).
+
+On devices with limited parallelism (CPUs) a framework can trade batch
+parallelism for less padding: sort the mini-batch by sequence length, split
+it into micro-batches of ``u`` sequences, and pad each micro-batch only to
+*its own* maximum length (paper Figure 26).  The optimal micro-batch size is
+found by searching over powers of two, exactly as in Section D.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class MicroBatchResult:
+    """Result of the micro-batch search for one workload."""
+
+    best_latency_ms: float
+    best_micro_batch: int
+    per_size_ms: Dict[int, float]
+
+    def speedup_over_full_batch(self) -> float:
+        full = self.per_size_ms.get(max(self.per_size_ms), self.best_latency_ms)
+        return full / self.best_latency_ms if self.best_latency_ms else 1.0
+
+
+def split_into_microbatches(lengths: Sequence[int], micro_batch: int,
+                            sort: bool = True) -> List[np.ndarray]:
+    """Sort (optionally) and split a mini-batch into micro-batches."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if micro_batch <= 0:
+        raise ValueError("micro-batch size must be positive")
+    ordered = np.sort(lengths) if sort else lengths.copy()
+    return [ordered[i:i + micro_batch]
+            for i in range(0, ordered.size, micro_batch)]
+
+
+def candidate_sizes(batch_size: int, minimum: int = 2) -> List[int]:
+    """Micro-batch sizes searched: powers of two from ``minimum`` to the batch size."""
+    sizes = []
+    u = minimum
+    while u < batch_size:
+        sizes.append(u)
+        u *= 2
+    sizes.append(batch_size)
+    return sizes
+
+
+def microbatched_latency(
+    lengths: Sequence[int],
+    latency_fn: Callable[[np.ndarray], float],
+    minimum: int = 2,
+    sort: bool = True,
+) -> MicroBatchResult:
+    """Find the best micro-batch size for a workload.
+
+    ``latency_fn`` maps the lengths of one (padded-to-its-own-max)
+    micro-batch to a latency in milliseconds; the micro-batches of a
+    mini-batch execute sequentially, so their latencies add.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    per_size: Dict[int, float] = {}
+    for size in candidate_sizes(lengths.size, minimum=minimum):
+        total = 0.0
+        for chunk in split_into_microbatches(lengths, size, sort=sort):
+            total += float(latency_fn(chunk))
+        per_size[size] = total
+    best_size = min(per_size, key=lambda s: per_size[s])
+    return MicroBatchResult(
+        best_latency_ms=per_size[best_size],
+        best_micro_batch=best_size,
+        per_size_ms=per_size,
+    )

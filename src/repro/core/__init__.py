@@ -1,0 +1,45 @@
+"""Core compiler components of the CoRa reproduction.
+
+The core follows the pipeline described in Section 2 / Figure 4 of the paper:
+
+1. The user describes a ragged operator (``repro.core.operator``) using named
+   dimensions (``repro.core.dims``) and extents that may be *uninterpreted
+   functions* of outer loop variables (``repro.core.extents``).
+2. The user schedules the operator (``repro.core.schedule``): loop padding,
+   storage padding, loop fusion, splitting/tiling, operation splitting,
+   horizontal fusion and thread remapping.
+3. Lowering (``repro.core.lowering``) turns the scheduled operator into a
+   loop-nest IR (``repro.core.ir``), running bounds inference
+   (``repro.core.bounds``) and storage-access lowering
+   (``repro.core.storage``), and emits *prelude* code (``repro.core.prelude``)
+   that builds the auxiliary arrays needed at runtime.
+4. Code generation (``repro.core.codegen``) emits an executable Python kernel.
+5. The executor (``repro.core.executor``) runs the prelude on the host and
+   the kernel on a (simulated) device, reporting results and latencies.
+"""
+
+from repro.core.dims import Dim, DimKind
+from repro.core.extents import ConstExtent, Extent, VarExtent
+from repro.core.dgraph import DimensionGraph
+from repro.core.storage import RaggedLayout
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.operator import RaggedOperator, compute, input_tensor, placeholder
+from repro.core.schedule import Schedule
+from repro.core.executor import Executor
+
+__all__ = [
+    "Dim",
+    "DimKind",
+    "Extent",
+    "ConstExtent",
+    "VarExtent",
+    "DimensionGraph",
+    "RaggedLayout",
+    "RaggedTensor",
+    "RaggedOperator",
+    "compute",
+    "input_tensor",
+    "placeholder",
+    "Schedule",
+    "Executor",
+]

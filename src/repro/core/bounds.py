@@ -1,0 +1,211 @@
+"""Bounds inference for ragged loop nests.
+
+During compilation a tensor compiler infers, for every operator, the loop
+ranges needed to produce the region of its output that consumers require.
+With ragged operators two complications arise (paper Section 5.2):
+
+* after *vloop fusion* the loop iteration variable ``f`` is related to the
+  original variables ``(o, i)`` through uninterpreted functions
+  (``foif``, ``ffo``, ``ffi``); iteration ranges must be translated back
+  and forth between the two spaces (Figure 7 gives the rules);
+* ranges must be matched across producers and consumers, which CoRa does
+  through *named dimensions*: the same :class:`~repro.core.dims.Dim` object
+  appearing in both operators identifies corresponding iteration variables.
+
+This module implements both: the Figure 7 translation rules on top of
+concrete :class:`~repro.core.prelude.FusionMaps`, and a simple region-based
+inference for chains of operators whose accesses are identity / affine in
+the named dimensions.  The uninterpreted-function axioms of Appendix B.2
+(``foif(ffo(f), ffi(f)) = f`` and the two inverses) are exposed as
+:func:`check_fusion_axioms` and verified by property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dims import Dim
+from repro.core.errors import BoundsError
+from repro.core.extents import Extent
+from repro.core.ir import (
+    BinOp,
+    Const,
+    Expr,
+    LoopVar,
+    TensorAccess,
+    tensor_reads,
+)
+from repro.core.operator import RaggedOperator
+from repro.core.prelude import FusionMaps
+
+
+@dataclass(frozen=True)
+class Range:
+    """An inclusive integer range ``[lo, hi]`` of an iteration variable."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise BoundsError(f"empty or inverted range [{self.lo}, {self.hi}]")
+
+    @property
+    def extent(self) -> int:
+        return self.hi - self.lo + 1
+
+    def union(self, other: "Range") -> "Range":
+        return Range(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def contains(self, other: "Range") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: range translation between fused and unfused iteration spaces
+# ---------------------------------------------------------------------------
+
+
+def fused_range_of(outer: Range, inner: Range, maps: FusionMaps) -> Range:
+    """``o in [ol, ou] and i in [il, iu]  ->  f in [foif(ol, il), foif(ou, iu)]``."""
+    return Range(maps.foif(outer.lo, inner.lo), maps.foif(outer.hi, inner.hi))
+
+
+def outer_range_of(fused: Range, maps: FusionMaps) -> Range:
+    """``f in [fl, fu]  ->  o in [ffo(fl), ffo(fu)]``."""
+    return Range(int(maps.ffo[fused.lo]), int(maps.ffo[fused.hi]))
+
+
+def inner_range_of(fused: Range, maps: FusionMaps,
+                   lengths: Optional[Sequence[int]] = None) -> Range:
+    """The inner-variable range corresponding to a fused range (Figure 7).
+
+    If the fused range spans more than one outer iteration the inner range
+    is the full ``[0, max length - 1]`` (conservative, as in the paper);
+    otherwise it is ``[ffi(fl), ffi(fu)]``.
+    """
+    o_lo = int(maps.ffo[fused.lo])
+    o_hi = int(maps.ffo[fused.hi])
+    if o_lo != o_hi:
+        if lengths is None:
+            raise BoundsError(
+                "need the per-outer-iteration lengths to bound the inner "
+                "variable of a multi-row fused range"
+            )
+        lengths = np.asarray(lengths)
+        hi = int(lengths[o_lo:o_hi + 1].max()) - 1
+        return Range(0, max(hi, 0))
+    return Range(int(maps.ffi[fused.lo]), int(maps.ffi[fused.hi]))
+
+
+def check_fusion_axioms(maps: FusionMaps) -> bool:
+    """Verify the uninterpreted-function axioms of Appendix B.2.
+
+    * ``foif(ffo(f), ffi(f)) == f`` for every fused index ``f``;
+    * ``ffo(foif(o, i)) == o`` and ``ffi(foif(o, i)) == i`` for every valid
+      ``(o, i)`` pair.
+    """
+    f = np.arange(maps.fused_extent, dtype=np.int64)
+    if not np.array_equal(maps.foif_row[maps.ffo] + maps.ffi, f):
+        return False
+    # Check the inverse direction on every (o, i).
+    for o in range(maps.foif_row.size):
+        start = int(maps.foif_row[o])
+        end = int(maps.foif_row[o + 1]) if o + 1 < maps.foif_row.size else maps.fused_extent
+        width = end - start
+        for i in (0, max(width - 1, 0)):
+            if width == 0:
+                continue
+            fidx = maps.foif(o, i)
+            if int(maps.ffo[fidx]) != o or int(maps.ffi[fidx]) != i:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Producer/consumer region inference through named dimensions
+# ---------------------------------------------------------------------------
+
+
+def _access_range(expr: Expr, ranges: Dict[Dim, Range]) -> Range:
+    """Range of an (affine) index expression given loop-variable ranges."""
+    if isinstance(expr, Const):
+        v = int(expr.value)
+        return Range(v, v)
+    if isinstance(expr, LoopVar):
+        if expr.dim not in ranges:
+            raise BoundsError(f"no range known for dimension {expr.dim.name}")
+        return ranges[expr.dim]
+    if isinstance(expr, BinOp):
+        lhs = _access_range(expr.lhs, ranges)
+        rhs = _access_range(expr.rhs, ranges)
+        if expr.op == "+":
+            return Range(lhs.lo + rhs.lo, lhs.hi + rhs.hi)
+        if expr.op == "-":
+            return Range(lhs.lo - rhs.hi, lhs.hi - rhs.lo)
+        if expr.op == "*":
+            candidates = [lhs.lo * rhs.lo, lhs.lo * rhs.hi,
+                          lhs.hi * rhs.lo, lhs.hi * rhs.hi]
+            return Range(min(candidates), max(candidates))
+    raise BoundsError(f"cannot bound index expression {expr!r}")
+
+
+def infer_input_regions(
+    op: RaggedOperator,
+    output_ranges: Dict[Dim, Range],
+) -> Dict[str, List[Range]]:
+    """Infer, per input tensor, the region read when computing a given output region.
+
+    ``output_ranges`` maps each of the operator's named dimensions to the
+    iteration range required by the consumer.  Reduction axes are assumed to
+    be traversed fully (their extent is evaluated at the *maximum* governing
+    index of the provided range, which is conservative).
+    """
+    ranges: Dict[Dim, Range] = dict(output_ranges)
+    for axis in op.reduction_axes():
+        ext = axis.extent
+        if ext.is_constant:
+            hi = int(ext()) - 1
+        else:
+            governing = ext.deps[0]
+            if governing not in ranges:
+                raise BoundsError(
+                    f"reduction axis {axis.dim.name} depends on "
+                    f"{governing.name}, whose range is unknown"
+                )
+            gov_range = ranges[governing]
+            hi = max(int(ext(gov_range.lo)), int(ext(gov_range.hi))) - 1
+        ranges[axis.dim] = Range(0, max(hi, 0))
+
+    regions: Dict[str, List[Range]] = {}
+    for read in tensor_reads(op.body):
+        per_dim = [_access_range(idx, ranges) for idx in read.indices]
+        if read.tensor.name in regions:
+            regions[read.tensor.name] = [
+                a.union(b) for a, b in zip(regions[read.tensor.name], per_dim)
+            ]
+        else:
+            regions[read.tensor.name] = per_dim
+    return regions
+
+
+def infer_loop_ranges(op: RaggedOperator, governing_index: Optional[int] = None,
+                      ) -> Dict[Dim, Range]:
+    """Full iteration ranges of an operator's loops.
+
+    For vloops the bound is evaluated at ``governing_index`` if provided,
+    otherwise at the maximum over the governing dimension.
+    """
+    ranges: Dict[Dim, Range] = {}
+    for dim, ext in zip(op.dims, op.loop_extents):
+        if ext.is_constant:
+            hi = int(ext()) - 1
+        elif governing_index is not None:
+            hi = int(ext(governing_index)) - 1
+        else:
+            hi = int(ext.max_value()) - 1
+        ranges[dim] = Range(0, max(hi, 0))
+    return ranges

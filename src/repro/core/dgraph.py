@@ -1,0 +1,184 @@
+"""Dimension graphs (dgraphs).
+
+The *dimension graph* of a tensor (paper Section 5.3, Figures 8 and 16)
+records which dimensions' slice sizes depend on which outer dimensions.
+An edge ``d1 -> d2`` exists when the extent of ``d2`` is a function of the
+index of ``d1``.  cdims have no incoming edges; vdims have exactly one in
+this prototype (matching the paper's Section 6 restriction).
+
+CoRa models these dependences *precisely*: for the 4-D attention tensor
+``X[batch, seq1, heads, seq2]`` both ``seq1`` and ``seq2`` depend only on
+``batch``.  The tree-based scheme used by sparse tensor compilers (CSF /
+Taco) instead assumes each sparse level may depend on all outer levels and
+therefore stores per-slice position arrays whose size grows with the number
+of slices -- the dgraph lets CoRa compute how much smaller its auxiliary
+data is (evaluated in Section 7.4 / Tables 7-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.dims import Dim, DimKind
+from repro.core.errors import StorageError
+from repro.core.extents import Extent
+
+
+@dataclass(frozen=True)
+class DimensionGraph:
+    """The dependence graph between the dimensions of one tensor layout.
+
+    Parameters
+    ----------
+    dims:
+        Dimensions ordered outermost first.
+    extents:
+        The extent of each dimension (same order).
+    """
+
+    dims: Tuple[Dim, ...]
+    extents: Tuple[Extent, ...]
+
+    @classmethod
+    def from_layout(cls, dims: Sequence[Dim], extents: Sequence[Extent]) -> "DimensionGraph":
+        dims = tuple(dims)
+        extents = tuple(extents)
+        if len(dims) != len(extents):
+            raise StorageError("dims and extents must have the same length")
+        graph = cls(dims=dims, extents=extents)
+        graph.validate()
+        return graph
+
+    # -- structure ---------------------------------------------------------
+
+    def index_of(self, dim: Dim) -> int:
+        for i, d in enumerate(self.dims):
+            if d is dim:
+                return i
+        raise StorageError(f"dimension {dim!r} is not part of this layout")
+
+    def incoming(self, i: int) -> List[int]:
+        """IG(i): indices of dimensions the extent of dim ``i`` depends on."""
+        deps = self.extents[i].deps
+        result = []
+        for dep in deps:
+            j = self.index_of(dep)
+            result.append(j)
+        return result
+
+    def outgoing(self, i: int) -> List[int]:
+        """OG(i): indices of dimensions whose extent depends on dim ``i``."""
+        me = self.dims[i]
+        return [j for j, ext in enumerate(self.extents) if me in ext.deps]
+
+    def transitive_outgoing(self, i: int) -> Set[int]:
+        """O*_G(i): all dimensions transitively dependent on dim ``i``."""
+        seen: Set[int] = set()
+        frontier = list(self.outgoing(i))
+        while frontier:
+            j = frontier.pop()
+            if j in seen:
+                continue
+            seen.add(j)
+            frontier.extend(self.outgoing(j))
+        return seen
+
+    def kind(self, i: int) -> DimKind:
+        """Whether dim ``i`` is a cdim or a vdim in this layout."""
+        return DimKind.CONSTANT if self.extents[i].is_constant else DimKind.VARIABLE
+
+    def is_vdim(self, i: int) -> bool:
+        return self.kind(i) is DimKind.VARIABLE
+
+    def vdims(self) -> List[int]:
+        """Indices of all variable dimensions, outermost first."""
+        return [i for i in range(len(self.dims)) if self.is_vdim(i)]
+
+    def cdims(self) -> List[int]:
+        return [i for i in range(len(self.dims)) if not self.is_vdim(i)]
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants the lowering relies upon.
+
+        * the graph is acyclic (a vdim may only depend on *outer* dims);
+        * the outermost dimension is a cdim;
+        * every vdim depends on exactly one outer dimension, and that
+          dimension is itself a cdim (prototype restriction, Section 6).
+        """
+        n = len(self.dims)
+        if n == 0:
+            raise StorageError("a layout needs at least one dimension")
+        if self.is_vdim(0):
+            raise StorageError("the outermost dimension must be a cdim")
+        for i in range(n):
+            for j in self.incoming(i):
+                if j >= i:
+                    raise StorageError(
+                        f"dimension {self.dims[i].name} depends on "
+                        f"{self.dims[j].name}, which is not an outer dimension"
+                    )
+            if self.is_vdim(i):
+                deps = self.incoming(i)
+                if len(deps) != 1:
+                    raise StorageError(
+                        f"vdim {self.dims[i].name} must depend on exactly one "
+                        f"outer dimension (prototype restriction); got {len(deps)}"
+                    )
+                if self.is_vdim(deps[0]):
+                    raise StorageError(
+                        f"vdim {self.dims[i].name} depends on another vdim "
+                        f"{self.dims[deps[0]].name}; the prototype only supports "
+                        "dependences on constant dimensions"
+                    )
+
+    # -- auxiliary-data accounting (Section 7.4 / Tables 7-8) ---------------
+
+    def cora_aux_entries(self, governing_extent: int) -> int:
+        """Number of auxiliary-array entries CoRa's lowering scheme needs.
+
+        One cumulative-offset array per *governing* dimension (a dimension
+        with at least one outgoing edge), of length ``extent + 1``.
+        """
+        total = 0
+        for i in range(len(self.dims)):
+            if self.outgoing(i):
+                total += int(self.extents[i].max_value()) + 1
+        return total if total else 0
+
+    def sparse_scheme_aux_entries(self, lengths: np.ndarray) -> int:
+        """Auxiliary entries the CSF-style scheme used by sparse compilers needs.
+
+        Each vdim level stores a position array with one entry per slice of
+        that level; the number of slices of a level is the product of the
+        (actual) extents of all outer levels -- exactly the
+        ``s1 + s3 * sum_i s24(i)`` accounting of Section B.1.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        total = 0
+        # Number of "fibers" (slices) at each level, computed incrementally.
+        # fiber_counts[i] = number of slices of dimension i.
+        per_slice_counts = np.ones_like(lengths)  # per outermost index
+        for i in range(1, len(self.dims)):
+            extent = self.extents[i]
+            if extent.is_constant:
+                width = np.full_like(lengths, int(extent()))
+            else:
+                width = lengths
+            if self.is_vdim(i):
+                # pos array: one entry per slice of this level (+1 terminator).
+                total += int(per_slice_counts.sum()) + 1
+            per_slice_counts = per_slice_counts * width
+        return total
+
+    def __repr__(self) -> str:
+        parts = []
+        for i, d in enumerate(self.dims):
+            deps = ",".join(self.dims[j].name for j in self.incoming(i))
+            tag = f"{d.name}({'v' if self.is_vdim(i) else 'c'}{':' + deps if deps else ''})"
+            parts.append(tag)
+        return "DimensionGraph[" + " -> ".join(parts) + "]"

@@ -1,0 +1,110 @@
+"""Named dimensions.
+
+CoRa uses *named dimensions* (paper Section 4 and 5.2) to identify loops and
+the tensor dimensions they correspond to, and to express the dependences
+between them ("the extent of the sequence-length loop is a function of the
+batch dimension").  Named dimensions are also how bounds inference matches
+iteration variables across producers and consumers.
+
+A :class:`Dim` is a lightweight identity object: two dimensions are the same
+only if they are the same object, regardless of their name.  Names exist for
+debugging and for the generated code to be readable.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_dim_counter = itertools.count()
+
+
+class DimKind(enum.Enum):
+    """Classification of a dimension in a particular layout or loop nest.
+
+    A dimension is not intrinsically constant or variable -- the same named
+    dimension may be a *cdim* (constant extent) in one tensor and a *vdim*
+    (variable extent, i.e. its slice sizes depend on an outer dimension's
+    index) in another.  The kind is therefore determined per
+    :class:`~repro.core.storage.RaggedLayout` / loop nest, not stored on the
+    :class:`Dim` itself.
+    """
+
+    CONSTANT = "cdim"
+    VARIABLE = "vdim"
+    FUSED = "fused"
+
+
+@dataclass(eq=False)
+class Dim:
+    """A named dimension.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in generated code and error messages.
+        If omitted a unique name of the form ``dim<N>`` is generated.
+    """
+
+    name: str = ""
+    uid: int = field(default_factory=lambda: next(_dim_counter))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"dim{self.uid}"
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"Dim({self.name!r})"
+
+    def renamed(self, name: str) -> "Dim":
+        """Return a *new* dimension carrying ``name`` (identity is new)."""
+        return Dim(name=name)
+
+
+@dataclass(eq=False)
+class FusedDim(Dim):
+    """A dimension produced by fusing two adjacent dimensions.
+
+    Fused dimensions are produced by the ``fuse_loops`` /
+    ``fuse_dimensions`` scheduling primitives (paper Section 5.1).  They
+    remember their parents so that bounds inference can translate iteration
+    ranges between the fused and unfused iteration spaces (paper Figure 7).
+    """
+
+    outer: Optional[Dim] = None
+    inner: Optional[Dim] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            outer = self.outer.name if self.outer is not None else "?"
+            inner = self.inner.name if self.inner is not None else "?"
+            self.name = f"{outer}.{inner}"
+        super().__post_init__()
+
+    def __hash__(self) -> int:  # dataclass(eq=False) would inherit, be explicit
+        return hash(self.uid)
+
+    def parents(self) -> tuple[Dim, Dim]:
+        """Return ``(outer, inner)`` parent dimensions."""
+        if self.outer is None or self.inner is None:
+            raise ValueError("FusedDim missing parent dimensions")
+        return (self.outer, self.inner)
+
+    def __repr__(self) -> str:
+        return f"FusedDim({self.name!r})"
+
+
+def fresh_dims(*names: str) -> tuple[Dim, ...]:
+    """Convenience helper creating several named dimensions at once.
+
+    >>> batch, seq = fresh_dims("batch", "seq")
+    """
+    return tuple(Dim(n) for n in names)

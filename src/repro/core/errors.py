@@ -1,0 +1,29 @@
+"""Exception types raised by the CoRa reproduction compiler."""
+
+
+class CoraError(Exception):
+    """Base class for all errors raised by the compiler."""
+
+
+class ScheduleError(CoraError):
+    """An invalid scheduling primitive application.
+
+    Examples: reordering a vloop past the loop its bound depends on, or
+    specifying storage padding smaller than the corresponding loop padding.
+    """
+
+
+class LoweringError(CoraError):
+    """An error encountered while lowering an operator to the loop-nest IR."""
+
+
+class StorageError(CoraError):
+    """An invalid ragged storage layout or an out-of-storage access."""
+
+
+class BoundsError(CoraError):
+    """Bounds inference failed or produced an inconsistent range."""
+
+
+class ExecutionError(CoraError):
+    """A runtime failure while executing a generated kernel or prelude."""

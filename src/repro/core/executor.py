@@ -1,0 +1,234 @@
+"""The executor: compiling and running scheduled ragged operators.
+
+The executor glues the pipeline of paper Figure 4 together:
+
+1. lower the scheduled operator (:mod:`repro.core.lowering`);
+2. generate the kernel (:mod:`repro.core.codegen`);
+3. at run time, run the *prelude* (already materialised as the lowered
+   kernel's auxiliary arrays -- bound tables, fusion maps, storage offsets,
+   remap permutations) and hand the kernel flat buffers for every tensor;
+4. report execution statistics: measured host wall time, the analytically
+   counted FLOPs of the ragged loop nest, the FLOPs a fully padded
+   execution would have needed, and (if a simulated device is attached)
+   the modelled device latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.codegen import GeneratedKernel, generate
+from repro.core.errors import ExecutionError
+from repro.core.ir import count_flops, reductions_in
+from repro.core.lowering import LoweredKernel, lower_schedule
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.schedule import Schedule
+from repro.core.storage import RaggedLayout
+
+
+@dataclass
+class ExecutionReport:
+    """Statistics of one kernel execution."""
+
+    wall_time_s: float
+    flops: int
+    dense_flops: int
+    device_latency_s: Optional[float] = None
+
+    @property
+    def padding_waste(self) -> float:
+        """Ratio of fully padded to ragged FLOPs (>= 1)."""
+        if self.flops == 0:
+            return 1.0
+        return self.dense_flops / self.flops
+
+
+@dataclass
+class CompiledKernel:
+    """A lowered, generated, ready-to-run kernel."""
+
+    lowered: LoweredKernel
+    generated: GeneratedKernel
+
+    @property
+    def source(self) -> str:
+        return self.generated.source
+
+    @property
+    def output_layout(self) -> RaggedLayout:
+        return self.lowered.output_plan.layout
+
+
+def _per_point_flops(lowered: LoweredKernel) -> int:
+    """FLOPs per output point, excluding the reduction-loop trip counts."""
+    body = lowered.body
+    reds = reductions_in(body)
+    if not reds:
+        return max(count_flops(body), 1)
+    # count_flops multiplies by max reduction extents; strip that factor and
+    # re-apply per-governing-index trip counts in estimate_flops instead.
+    total = 0
+    for red in reds:
+        total += count_flops(red.body) + 1
+    return max(total, 1)
+
+
+def estimate_flops(lowered: LoweredKernel) -> int:
+    """Total FLOPs of the lowered (ragged, padded-as-scheduled) loop nest."""
+    gov_counts = None
+    # Evaluate per-governing-index trip counts of all loops.
+    # All bound tables are indexed by the outermost governing dimension.
+    outer_bound = lowered.loops[0].bound if lowered.loops else None
+    if outer_bound is None:
+        return 0
+    if outer_bound.is_const:
+        m = outer_bound.value
+    else:
+        m = lowered.aux_arrays[outer_bound.table_name].size
+    per_b = np.ones(max(m, 1), dtype=np.float64)
+    for loop in lowered.loops[1:]:
+        if loop.bound.is_const:
+            per_b *= loop.bound.value
+        else:
+            table = lowered.aux_arrays[loop.bound.table_name]
+            per_b *= table[: per_b.size]
+    for bound in lowered.reduction_bounds.values():
+        if bound.is_const:
+            per_b *= bound.value
+        else:
+            table = lowered.aux_arrays[bound.table_name]
+            per_b *= table[: per_b.size]
+    point_flops = _per_point_flops(lowered)
+    if lowered.loops and not lowered.loops[0].bound.is_const:
+        total_points = float(per_b.sum())
+    else:
+        total_points = float(per_b.sum())
+    return int(total_points * point_flops)
+
+
+def estimate_dense_flops(lowered: LoweredKernel) -> int:
+    """FLOPs a fully padded execution of the same operator would need."""
+    if not lowered.loops:
+        return 0
+    total = 1.0
+    outer = lowered.loops[0].bound
+    total *= outer.value if outer.is_const else lowered.aux_arrays[outer.table_name].size
+    for loop in lowered.loops[1:]:
+        if loop.bound.is_const:
+            total *= loop.bound.value
+        else:
+            total *= float(lowered.aux_arrays[loop.bound.table_name].max())
+    for bound in lowered.reduction_bounds.values():
+        if bound.is_const:
+            total *= bound.value
+        else:
+            total *= float(lowered.aux_arrays[bound.table_name].max())
+    return int(total * _per_point_flops(lowered))
+
+
+class Executor:
+    """Compiles schedules and runs the generated kernels.
+
+    Parameters
+    ----------
+    device:
+        Optional :class:`~repro.substrates.device.Device`; when given, each
+        execution report includes a modelled device latency for the kernel.
+    """
+
+    def __init__(self, device: Optional[object] = None):
+        self.device = device
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(
+        self,
+        schedule: Schedule,
+        input_layouts: Optional[Dict[str, RaggedLayout]] = None,
+    ) -> CompiledKernel:
+        """Lower and generate code for a scheduled operator."""
+        lowered = lower_schedule(schedule, input_layouts=input_layouts)
+        generated = generate(lowered)
+        return CompiledKernel(lowered=lowered, generated=generated)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        compiled: CompiledKernel,
+        inputs: Dict[str, Union[RaggedTensor, np.ndarray]],
+        output: Optional[RaggedTensor] = None,
+    ) -> tuple:
+        """Execute a compiled kernel.
+
+        Parameters
+        ----------
+        compiled:
+            The kernel returned by :meth:`compile`.
+        inputs:
+            Mapping from input-tensor name to a :class:`RaggedTensor` (whose
+            layout must match the compiled plan's total size) or a flat /
+            dense NumPy array.
+        output:
+            Optional pre-allocated output tensor; allocated if omitted.
+
+        Returns
+        -------
+        (output, report):
+            The output ragged tensor and an :class:`ExecutionReport`.
+        """
+        lowered = compiled.lowered
+        buffers: Dict[str, np.ndarray] = {}
+        for name, plan in lowered.input_plans.items():
+            if name not in inputs:
+                raise ExecutionError(f"missing input tensor {name!r}")
+            value = inputs[name]
+            if isinstance(value, RaggedTensor):
+                flat = value.data
+            else:
+                flat = np.asarray(value, dtype=np.float32).reshape(-1)
+            expected = plan.layout.total_size()
+            if flat.size != expected:
+                raise ExecutionError(
+                    f"input {name!r} has {flat.size} elements but the "
+                    f"compiled layout requires {expected}"
+                )
+            buffers[name] = flat
+        if output is None:
+            output = RaggedTensor.zeros(compiled.output_layout)
+        buffers[lowered.output_plan.spec.name] = output.data
+
+        t0 = time.perf_counter()
+        compiled.generated(buffers, lowered.aux_arrays)
+        wall = time.perf_counter() - t0
+
+        flops = estimate_flops(lowered)
+        dense_flops = estimate_dense_flops(lowered)
+        device_latency = None
+        if self.device is not None:
+            bytes_moved = sum(b.nbytes for b in buffers.values())
+            device_latency = self.device.kernel_time(flops=flops,
+                                                     bytes_moved=bytes_moved)
+        report = ExecutionReport(
+            wall_time_s=wall,
+            flops=flops,
+            dense_flops=dense_flops,
+            device_latency_s=device_latency,
+        )
+        return output, report
+
+    # -- convenience -------------------------------------------------------------
+
+    def build_and_run(
+        self,
+        schedule: Schedule,
+        inputs: Dict[str, Union[RaggedTensor, np.ndarray]],
+        input_layouts: Optional[Dict[str, RaggedLayout]] = None,
+    ) -> tuple:
+        """Compile and immediately execute a scheduled operator."""
+        compiled = self.compile(schedule, input_layouts=input_layouts)
+        return self.run(compiled, inputs)

@@ -1,0 +1,326 @@
+"""Expression and loop-nest IR.
+
+The frontend (``repro.core.operator``) builds an *expression tree* for the
+body of a ragged operator; lowering (``repro.core.lowering``) wraps it into a
+*loop nest* whose loops carry extents (constant or variable), padding and
+scheduling annotations.  Code generation (``repro.core.codegen``) walks the
+loop nest and emits executable Python.
+
+The IR is deliberately small -- just enough to express the operators in the
+paper's evaluation (elementwise ops, reductions / matmuls, softmax-style
+normalisations) -- but it is a real IR: expressions are data, not opaque
+Python callables, so the compiler can analyse accesses, hoist auxiliary-data
+loads (Section 7.4, "load hoisting") and count FLOPs for the cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.dims import Dim
+from repro.core.errors import LoweringError
+from repro.core.extents import Extent
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+    def __add__(self, other): return BinOp("+", self, wrap(other))
+    def __radd__(self, other): return BinOp("+", wrap(other), self)
+    def __sub__(self, other): return BinOp("-", self, wrap(other))
+    def __rsub__(self, other): return BinOp("-", wrap(other), self)
+    def __mul__(self, other): return BinOp("*", self, wrap(other))
+    def __rmul__(self, other): return BinOp("*", wrap(other), self)
+    def __truediv__(self, other): return BinOp("/", self, wrap(other))
+    def __rtruediv__(self, other): return BinOp("/", wrap(other), self)
+    def __neg__(self): return BinOp("-", Const(0.0), self)
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+def wrap(value: Union["Expr", float, int]) -> "Expr":
+    """Coerce Python numbers into :class:`Const` nodes."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A floating-point constant."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class LoopVar(Expr):
+    """The iteration variable of the loop associated with a named dimension."""
+
+    dim: Dim
+
+    @property
+    def name(self) -> str:
+        return self.dim.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation (``+``, ``-``, ``*``, ``/``, ``max``, ``min``)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a math intrinsic (``exp``, ``sqrt``, ``tanh``, ``relu``...)."""
+
+    fn: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class TensorAccess(Expr):
+    """A read of one element of an input tensor."""
+
+    tensor: "TensorSpec"
+    indices: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+
+@dataclass(frozen=True)
+class Reduce(Expr):
+    """A reduction of ``body`` over one or more reduction dimensions.
+
+    ``combiner`` is ``"sum"``, ``"max"`` or ``"min"``; ``init`` is the
+    identity element.
+    """
+
+    combiner: str
+    body: Expr
+    axes: Tuple["ReduceAxis", ...]
+    init: float = 0.0
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class ReduceAxis:
+    """A reduction axis: a named dimension with an extent."""
+
+    dim: Dim
+    extent: Extent
+
+
+# Convenience intrinsics -----------------------------------------------------
+
+
+def exp(x: Union[Expr, float]) -> Expr:
+    return Call("exp", (wrap(x),))
+
+
+def sqrt(x: Union[Expr, float]) -> Expr:
+    return Call("sqrt", (wrap(x),))
+
+
+def tanh(x: Union[Expr, float]) -> Expr:
+    return Call("tanh", (wrap(x),))
+
+
+def relu(x: Union[Expr, float]) -> Expr:
+    return Call("relu", (wrap(x),))
+
+
+def maximum(a: Union[Expr, float], b: Union[Expr, float]) -> Expr:
+    return BinOp("max", wrap(a), wrap(b))
+
+
+def minimum(a: Union[Expr, float], b: Union[Expr, float]) -> Expr:
+    return BinOp("min", wrap(a), wrap(b))
+
+
+# ---------------------------------------------------------------------------
+# Tensors (symbolic, compile-time)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class TensorSpec:
+    """A symbolic tensor: a name, its dimensions and their extents.
+
+    Input tensors are created with :func:`repro.core.operator.input_tensor`;
+    each operator also has an output ``TensorSpec``.  At execution time the
+    executor binds each spec to a concrete
+    :class:`~repro.core.ragged_tensor.RaggedTensor` or dense NumPy array.
+    """
+
+    name: str
+    dims: Tuple[Dim, ...]
+    extents: Tuple[Extent, ...]
+
+    def __getitem__(self, indices) -> TensorAccess:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        if len(indices) != len(self.dims):
+            raise LoweringError(
+                f"tensor {self.name} has {len(self.dims)} dimensions but was "
+                f"indexed with {len(indices)}"
+            )
+        exprs = []
+        for idx in indices:
+            if isinstance(idx, Dim):
+                exprs.append(LoopVar(idx))
+            elif isinstance(idx, Expr):
+                exprs.append(idx)
+            elif isinstance(idx, (int, float)):
+                exprs.append(Const(float(idx)))
+            else:
+                raise LoweringError(f"cannot index tensor with {idx!r}")
+        return TensorAccess(self, tuple(exprs))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def __repr__(self) -> str:
+        return f"TensorSpec({self.name!r}, dims={[d.name for d in self.dims]})"
+
+
+# ---------------------------------------------------------------------------
+# Loop nest
+# ---------------------------------------------------------------------------
+
+
+class LoopKind(enum.Enum):
+    CONSTANT = "cloop"
+    VARIABLE = "vloop"
+    FUSED = "fused"
+    REDUCTION = "rloop"
+
+
+class Annotation(enum.Enum):
+    NONE = "none"
+    PARALLEL = "parallel"
+    VECTORIZE = "vectorize"
+    UNROLL = "unroll"
+    BIND_BLOCK = "blockIdx"
+    BIND_THREAD = "threadIdx"
+
+
+@dataclass
+class Loop:
+    """One loop of the lowered nest."""
+
+    dim: Dim
+    extent: Extent
+    kind: LoopKind
+    annotation: Annotation = Annotation.NONE
+    #: For fused loops, the fusion-map name registered with the prelude.
+    fusion_map: Optional[str] = None
+    #: For thread-remapped loops, the name of the remap permutation array.
+    remap: Optional[str] = None
+
+    @property
+    def is_variable(self) -> bool:
+        return self.kind in (LoopKind.VARIABLE, LoopKind.FUSED)
+
+    def __repr__(self) -> str:
+        return (
+            f"Loop({self.dim.name}, {self.kind.value}, "
+            f"{self.annotation.value})"
+        )
+
+
+@dataclass
+class LoopNest:
+    """A fully lowered operator: ordered loops plus a single store statement."""
+
+    loops: List[Loop]
+    output: TensorSpec
+    output_indices: Tuple[Expr, ...]
+    body: Expr
+    #: Extra guard predicates (e.g. from operation splitting).
+    predicates: List[Expr] = field(default_factory=list)
+
+    def loop_for(self, dim: Dim) -> Loop:
+        for loop in self.loops:
+            if loop.dim is dim:
+                return loop
+        raise LoweringError(f"no loop for dimension {dim!r} in this nest")
+
+    def loop_dims(self) -> List[Dim]:
+        return [l.dim for l in self.loops]
+
+
+# ---------------------------------------------------------------------------
+# IR traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr):
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def tensor_reads(expr: Expr) -> List[TensorAccess]:
+    """All tensor reads in an expression."""
+    return [e for e in walk(expr) if isinstance(e, TensorAccess)]
+
+
+def loop_vars_used(expr: Expr) -> List[Dim]:
+    """Named dimensions whose loop variables appear in ``expr``."""
+    seen: List[Dim] = []
+    for e in walk(expr):
+        if isinstance(e, LoopVar) and e.dim not in seen:
+            seen.append(e.dim)
+    return seen
+
+
+def reductions_in(expr: Expr) -> List[Reduce]:
+    return [e for e in walk(expr) if isinstance(e, Reduce)]
+
+
+def count_flops(expr: Expr) -> int:
+    """Number of floating-point operations one evaluation of ``expr`` costs.
+
+    Reductions multiply their body cost (plus one combine op) by the extent
+    of the reduction axes; variable reduction extents use their maximum.
+    This is the per-point cost used by the analytical cost model.
+    """
+    if isinstance(expr, (Const, LoopVar, TensorAccess)):
+        return 0 if not isinstance(expr, TensorAccess) else 0
+    if isinstance(expr, BinOp):
+        return 1 + count_flops(expr.lhs) + count_flops(expr.rhs)
+    if isinstance(expr, Call):
+        # Count transcendental calls as a handful of flops.
+        return 4 + sum(count_flops(a) for a in expr.args)
+    if isinstance(expr, Reduce):
+        per_iter = count_flops(expr.body) + 1
+        total = per_iter
+        for axis in expr.axes:
+            total *= max(int(axis.extent.max_value()), 1)
+        return total
+    return 0

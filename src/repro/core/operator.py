@@ -1,0 +1,224 @@
+"""The Ragged API: describing computations on ragged tensors.
+
+This mirrors the user-facing API of paper Section 4 (Listing 1).  A ragged
+operator is described by:
+
+* the *named dimensions* of its output and the *loop extents* of the
+  corresponding loops (constant, or functions of outer named dimensions);
+* the *storage format* of the output (extents per dimension, possibly
+  different from the loop extents because of storage padding);
+* a body function, called once with one loop-variable expression per
+  dimension, returning an expression tree (possibly containing reductions).
+
+Example -- the operator of Figure 1::
+
+    batch, seq = Dim("batch"), Dim("seq")
+    lens = np.array([5, 2, 3])
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(3), VarExtent(batch, lens)])
+    B = compute("B", [batch, seq],
+                [ConstExtent(3), VarExtent(batch, lens)],
+                lambda o, i: 2.0 * A[o, i])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.dims import Dim
+from repro.core.errors import LoweringError
+from repro.core.extents import ConstExtent, Extent, VarExtent, as_extent
+from repro.core.ir import (
+    Expr,
+    LoopVar,
+    Reduce,
+    ReduceAxis,
+    TensorSpec,
+    loop_vars_used,
+    reductions_in,
+    tensor_reads,
+    wrap,
+)
+from repro.core.storage import RaggedLayout
+
+
+def placeholder(
+    name: str,
+    dims: Sequence[Dim],
+    extents: Sequence[Union[int, Extent]],
+) -> TensorSpec:
+    """Declare a symbolic input tensor (alias: :func:`input_tensor`)."""
+    exts = tuple(as_extent(e) for e in extents)
+    if len(exts) != len(dims):
+        raise LoweringError(
+            f"tensor {name}: got {len(dims)} dims but {len(exts)} extents"
+        )
+    return TensorSpec(name=name, dims=tuple(dims), extents=exts)
+
+
+#: Paper-style alias: ``input_tensor`` in Listing 1.
+input_tensor = placeholder
+
+
+def reduce_axis(extent: Union[int, Extent], name: str = "k") -> ReduceAxis:
+    """Declare a reduction axis with the given extent."""
+    return ReduceAxis(dim=Dim(name), extent=as_extent(extent))
+
+
+def sum_reduce(body: Expr, axes: Union[ReduceAxis, Sequence[ReduceAxis]]) -> Reduce:
+    """Sum ``body`` over one or more reduction axes."""
+    if isinstance(axes, ReduceAxis):
+        axes = (axes,)
+    return Reduce(combiner="sum", body=wrap(body), axes=tuple(axes), init=0.0)
+
+
+def max_reduce(body: Expr, axes: Union[ReduceAxis, Sequence[ReduceAxis]]) -> Reduce:
+    """Max-reduce ``body`` over one or more reduction axes."""
+    if isinstance(axes, ReduceAxis):
+        axes = (axes,)
+    return Reduce(combiner="max", body=wrap(body), axes=tuple(axes),
+                  init=-np.inf)
+
+
+@dataclass
+class RaggedOperator:
+    """A fully described (but not yet scheduled) ragged operator.
+
+    Attributes
+    ----------
+    name:
+        Operator name; also the name of its output tensor.
+    dims:
+        Output / loop named dimensions, outermost first.
+    loop_extents:
+        Extent of each loop.  Variable extents make the loop a *vloop*.
+    storage_extents:
+        Extent of each output-tensor dimension (defaults to the loop extents).
+    body_fn:
+        Callable invoked with one :class:`LoopVar` per dimension; returns the
+        body expression.
+    """
+
+    name: str
+    dims: Tuple[Dim, ...]
+    loop_extents: Tuple[Extent, ...]
+    body_fn: Callable[..., Expr]
+    storage_extents: Tuple[Extent, ...] = ()
+    inputs: Tuple[TensorSpec, ...] = ()
+    body: Expr = field(init=False)
+    output: TensorSpec = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.loop_extents):
+            raise LoweringError(
+                f"operator {self.name}: {len(self.dims)} dims but "
+                f"{len(self.loop_extents)} loop extents"
+            )
+        if not self.storage_extents:
+            self.storage_extents = tuple(self.loop_extents)
+        if len(self.storage_extents) != len(self.dims):
+            raise LoweringError(
+                f"operator {self.name}: storage format must have one extent "
+                "per output dimension"
+            )
+        loop_vars = [LoopVar(d) for d in self.dims]
+        self.body = wrap(self.body_fn(*loop_vars))
+        self.output = TensorSpec(
+            name=self.name, dims=self.dims, extents=self.storage_extents
+        )
+        if not self.inputs:
+            self.inputs = tuple(
+                {read.tensor.name: read.tensor for read in tensor_reads(self.body)}.values()
+            )
+        self._validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self) -> None:
+        # Variable loop extents must depend on dimensions that are loops of
+        # this operator and appear *outside* the variable loop.
+        positions = {d: i for i, d in enumerate(self.dims)}
+        for i, ext in enumerate(self.loop_extents):
+            for dep in ext.deps:
+                if dep not in positions:
+                    raise LoweringError(
+                        f"loop {self.dims[i].name} of operator {self.name} "
+                        f"depends on {dep.name}, which is not a loop of the "
+                        "operator"
+                    )
+                if positions[dep] >= i:
+                    raise LoweringError(
+                        f"loop {self.dims[i].name} depends on {dep.name}, "
+                        "which is not an outer loop"
+                    )
+        # Storage padding must be at least the loop padding is enforced at
+        # scheduling time; here we only check extents are well formed.
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dims)
+
+    def is_vloop(self, i: int) -> bool:
+        return not self.loop_extents[i].is_constant
+
+    def vloops(self) -> List[int]:
+        return [i for i in range(self.ndim) if self.is_vloop(i)]
+
+    def reduction_axes(self) -> List[ReduceAxis]:
+        axes: List[ReduceAxis] = []
+        for red in reductions_in(self.body):
+            axes.extend(red.axes)
+        return axes
+
+    def output_layout(self, storage_padding: Optional[Dict[Dim, int]] = None) -> RaggedLayout:
+        """The storage layout of the output tensor."""
+        return RaggedLayout(self.dims, self.storage_extents,
+                            storage_padding=storage_padding)
+
+    def input_layout(self, spec: TensorSpec,
+                     storage_padding: Optional[Dict[Dim, int]] = None) -> RaggedLayout:
+        """Build a layout for an input tensor spec (dims may be reused)."""
+        return RaggedLayout(spec.dims, spec.extents,
+                            storage_padding=storage_padding)
+
+    def __repr__(self) -> str:
+        kinds = ["v" if self.is_vloop(i) else "c" for i in range(self.ndim)]
+        loops = ", ".join(f"{d.name}:{k}" for d, k in zip(self.dims, kinds))
+        return f"RaggedOperator({self.name!r}, loops=[{loops}])"
+
+
+def compute(
+    name: str,
+    dims: Sequence[Dim],
+    loop_extents: Sequence[Union[int, Extent]],
+    body_fn: Callable[..., Expr],
+    storage_extents: Optional[Sequence[Union[int, Extent]]] = None,
+) -> RaggedOperator:
+    """Describe a ragged operator (the ``compute`` call of Listing 1).
+
+    Parameters
+    ----------
+    name:
+        Name of the operator and of its output tensor.
+    dims:
+        Named dimensions of the output, outermost first.
+    loop_extents:
+        Loop bound for each dimension; a :class:`VarExtent` makes it a vloop.
+    body_fn:
+        Called with one loop-variable expression per dimension; must return
+        the expression computing one output element.
+    storage_extents:
+        Storage format of the output (defaults to ``loop_extents``).
+    """
+    return RaggedOperator(
+        name=name,
+        dims=tuple(dims),
+        loop_extents=tuple(as_extent(e) for e in loop_extents),
+        body_fn=body_fn,
+        storage_extents=tuple(as_extent(e) for e in (storage_extents or ())),
+    )

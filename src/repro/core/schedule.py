@@ -1,0 +1,443 @@
+"""Scheduling primitives for ragged operators.
+
+CoRa exposes the scheduling primitives familiar from dense tensor compilers
+(split / tile, reorder, parallelise, vectorise, unroll) extended with the
+ragged-specific primitives of paper Section 4.1:
+
+* ``pad_loop(dim, multiple)`` -- pad a vloop's bound to a multiple of a
+  constant so the generated code can be tiled / vectorised without bound
+  checks;
+* ``pad_dimension(dim, multiple)`` -- pad the *storage* of the output vdim;
+  storage padding must be at least the loop padding so a padded loop never
+  touches non-existent storage;
+* ``fuse_loops(outer, inner)`` -- fuse a governing cloop with its vloop into
+  a single loop whose bound is the sum of the variable bounds (Section 5.1);
+  requires prelude-built fusion maps at run time;
+* ``fuse_dimensions(outer, inner)`` -- mirror the fusion on the output
+  storage so the access in the fused loop becomes a single flat index;
+* ``split(dim, factor)`` -- classic loop splitting (tiling);
+* ``reorder(...)`` -- reorder loops; a vloop may not be hoisted above the
+  loop its bound depends on;
+* ``parallel / vectorize / unroll / bind`` -- annotations consumed by the
+  code generator and cost model;
+* ``thread_remap(dim, policy)`` -- remap parallel loop iterations to
+  execution units to balance load (Section 4.1 / Appendix A.1);
+* :func:`operation_split` and :func:`horizontal_fuse` -- module-level
+  transforms that split one operator into several by loop range and execute
+  several operators concurrently as one kernel (Section 4.1, Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.dims import Dim, FusedDim
+from repro.core.errors import ScheduleError
+from repro.core.extents import ConstExtent, Extent, PaddedExtent, VarExtent
+from repro.core.ir import Annotation
+from repro.core.operator import RaggedOperator
+
+
+@dataclass
+class SplitInfo:
+    """Record of one loop split: ``dim`` -> (``outer``, ``inner``) by ``factor``."""
+
+    original: Dim
+    outer: Dim
+    inner: Dim
+    factor: int
+
+
+@dataclass
+class FuseInfo:
+    """Record of one loop fusion: (``outer``, ``inner``) -> ``fused``."""
+
+    outer: Dim
+    inner: Dim
+    fused: FusedDim
+
+
+@dataclass
+class RemapInfo:
+    """A thread-remapping policy attached to a parallel loop."""
+
+    dim: Dim
+    policy: Union[str, Callable[[np.ndarray], np.ndarray]]
+
+    def permutation(self, workloads: np.ndarray) -> np.ndarray:
+        """Compute the iteration->unit permutation for the given workloads.
+
+        ``"sort_desc"`` schedules the heaviest iterations first (the policy
+        used for trmm and the transformer kernels in the paper);
+        ``"identity"`` keeps the original order; a callable receives the
+        per-iteration workload array and returns a permutation.
+        """
+        workloads = np.asarray(workloads)
+        if callable(self.policy):
+            perm = np.asarray(self.policy(workloads), dtype=np.int64)
+        elif self.policy == "sort_desc":
+            perm = np.argsort(-workloads, kind="stable").astype(np.int64)
+        elif self.policy == "identity":
+            perm = np.arange(workloads.size, dtype=np.int64)
+        else:
+            raise ScheduleError(f"unknown thread remap policy {self.policy!r}")
+        if sorted(perm.tolist()) != list(range(workloads.size)):
+            raise ScheduleError("thread remap policy must return a permutation")
+        return perm
+
+
+class Schedule:
+    """A schedule for one :class:`~repro.core.operator.RaggedOperator`.
+
+    The schedule records transformations; :meth:`lower` (via
+    :mod:`repro.core.lowering`) applies them to produce a loop nest.
+    """
+
+    def __init__(self, operator: RaggedOperator):
+        self.operator = operator
+        self.loop_padding: Dict[Dim, int] = {}
+        self.storage_padding: Dict[Dim, int] = {}
+        #: storage padding for *input* tensors, keyed by tensor name.
+        self.input_storage_padding: Dict[str, Dict[Dim, int]] = {}
+        self.splits: List[SplitInfo] = []
+        self.fusions: List[FuseInfo] = []
+        self.dim_fusions: List[Tuple[Dim, Dim]] = []
+        self.annotations: Dict[Dim, Annotation] = {}
+        self.remaps: List[RemapInfo] = []
+        self.loop_order: List[Dim] = list(operator.dims)
+        self.hoist_loads: bool = True
+
+    # -- helpers -------------------------------------------------------------
+
+    def _loop_index(self, dim: Dim) -> int:
+        try:
+            return self.loop_order.index(dim)
+        except ValueError:
+            raise ScheduleError(
+                f"{dim.name} is not a loop of operator {self.operator.name} "
+                "(it may have been split or fused away)"
+            ) from None
+
+    def _extent_of(self, dim: Dim) -> Extent:
+        for d, e in zip(self.operator.dims, self.operator.loop_extents):
+            if d is dim:
+                return e
+        for fuse in self.fusions:
+            if fuse.fused is dim:
+                # handled specially by lowering
+                return ConstExtent(0)
+        for split in self.splits:
+            if split.outer is dim or split.inner is dim:
+                return ConstExtent(0)
+        raise ScheduleError(f"unknown dimension {dim.name}")
+
+    # -- padding -------------------------------------------------------------
+
+    def pad_loop(self, dim: Dim, multiple: int) -> "Schedule":
+        """Pad the loop bound of ``dim`` up to a multiple of ``multiple``."""
+        if multiple <= 0:
+            raise ScheduleError("padding multiple must be positive")
+        self._loop_index(dim)
+        self.loop_padding[dim] = int(
+            np.lcm(self.loop_padding.get(dim, 1), multiple)
+        )
+        return self
+
+    def pad_dimension(self, dim: Dim, multiple: int) -> "Schedule":
+        """Pad the storage of output dimension ``dim``.
+
+        Storage padding must be at least the loop padding of the
+        corresponding loop; this is validated at :meth:`validate` time since
+        the loop padding may be specified afterwards.
+        """
+        if multiple <= 0:
+            raise ScheduleError("padding multiple must be positive")
+        if dim not in self.operator.dims:
+            raise ScheduleError(
+                f"{dim.name} is not an output dimension of {self.operator.name}"
+            )
+        self.storage_padding[dim] = int(
+            np.lcm(self.storage_padding.get(dim, 1), multiple)
+        )
+        return self
+
+    def pad_input_dimension(self, tensor_name: str, dim: Dim, multiple: int) -> "Schedule":
+        """Pad the storage of an *input* tensor's dimension."""
+        if multiple <= 0:
+            raise ScheduleError("padding multiple must be positive")
+        padding = self.input_storage_padding.setdefault(tensor_name, {})
+        padding[dim] = int(np.lcm(padding.get(dim, 1), multiple))
+        return self
+
+    # -- fusion ---------------------------------------------------------------
+
+    def fuse_loops(self, outer: Dim, inner: Dim) -> FusedDim:
+        """Fuse two adjacent loops; the inner one may be a vloop.
+
+        Returns the new fused dimension, which replaces the pair in the loop
+        order.  At run time the prelude provides the ``ffo``/``ffi``/``foif``
+        arrays relating the fused variable to the originals.
+        """
+        io, ii = self._loop_index(outer), self._loop_index(inner)
+        if ii != io + 1:
+            raise ScheduleError(
+                f"can only fuse adjacent loops; {outer.name} is at position "
+                f"{io} and {inner.name} at {ii}"
+            )
+        inner_ext = self._extent_of(inner)
+        if inner_ext.deps and not (len(inner_ext.deps) == 1 and inner_ext.deps[0] is outer):
+            raise ScheduleError(
+                f"cannot fuse {outer.name} with {inner.name}: the inner "
+                "bound depends on a different outer loop"
+            )
+        fused = FusedDim(outer=outer, inner=inner)
+        self.fusions.append(FuseInfo(outer=outer, inner=inner, fused=fused))
+        self.loop_order[io:ii + 1] = [fused]
+        return fused
+
+    def fuse_dimensions(self, outer: Dim, inner: Dim) -> "Schedule":
+        """Fuse two adjacent output-storage dimensions (Section 5.1).
+
+        When the storage fusion mirrors a loop fusion the access in the
+        fused loop simplifies to a single flat index.
+        """
+        dims = list(self.operator.dims)
+        if outer not in dims or inner not in dims:
+            raise ScheduleError("both dimensions must belong to the output")
+        if dims.index(inner) != dims.index(outer) + 1:
+            raise ScheduleError("can only fuse adjacent storage dimensions")
+        self.dim_fusions.append((outer, inner))
+        return self
+
+    # -- splitting / reordering ------------------------------------------------
+
+    def split(self, dim: Dim, factor: int) -> Tuple[Dim, Dim]:
+        """Split loop ``dim`` into an outer and an inner loop of size ``factor``.
+
+        Splitting a vloop produces an outer loop over tiles and an inner loop
+        with a bound check (elided if the loop is padded to ``factor``).
+        """
+        if factor <= 0:
+            raise ScheduleError("split factor must be positive")
+        idx = self._loop_index(dim)
+        outer = Dim(f"{dim.name}.o")
+        inner = Dim(f"{dim.name}.i")
+        self.splits.append(SplitInfo(original=dim, outer=outer, inner=inner,
+                                     factor=int(factor)))
+        self.loop_order[idx:idx + 1] = [outer, inner]
+        return outer, inner
+
+    def reorder(self, *dims: Dim) -> "Schedule":
+        """Reorder the loops.  ``dims`` must be a permutation of the loop order.
+
+        A vloop (or a loop derived from one by splitting) may not be moved
+        above the loop its bound depends on.
+        """
+        if sorted(d.uid for d in dims) != sorted(d.uid for d in self.loop_order):
+            raise ScheduleError(
+                "reorder must mention every current loop exactly once"
+            )
+        new_order = list(dims)
+        # Validate vloop dependences are respected.
+        positions = {d: i for i, d in enumerate(new_order)}
+        for d in new_order:
+            ext = self._dependent_extent(d)
+            if ext is None:
+                continue
+            for dep in ext.deps:
+                governing = self._current_loop_carrying(dep)
+                if governing is None:
+                    continue
+                if positions.get(governing, -1) > positions[d]:
+                    raise ScheduleError(
+                        f"cannot reorder vloop {d.name} above {governing.name}, "
+                        "whose iteration variable its bound depends on"
+                    )
+        self.loop_order = new_order
+        return self
+
+    def _dependent_extent(self, dim: Dim) -> Optional[Extent]:
+        """The original variable extent behind a (possibly split) loop."""
+        for d, e in zip(self.operator.dims, self.operator.loop_extents):
+            if d is dim and e.deps:
+                return e
+        for split in self.splits:
+            if dim in (split.outer, split.inner):
+                return self._dependent_extent(split.original)
+        return None
+
+    def _current_loop_carrying(self, dim: Dim) -> Optional[Dim]:
+        """The loop in the current order that carries original dim ``dim``."""
+        if dim in self.loop_order:
+            return dim
+        for split in self.splits:
+            if split.original is dim:
+                # the outer split loop determines ordering constraints
+                return self._current_loop_carrying(split.outer)
+        for fuse in self.fusions:
+            if dim in (fuse.outer, fuse.inner):
+                return self._current_loop_carrying(fuse.fused)
+        return None
+
+    # -- annotations -------------------------------------------------------------
+
+    def _annotate(self, dim: Dim, ann: Annotation) -> "Schedule":
+        self._loop_index(dim)
+        self.annotations[dim] = ann
+        return self
+
+    def parallel(self, dim: Dim) -> "Schedule":
+        """Mark a loop as parallel (CPU threads / GPU blocks)."""
+        return self._annotate(dim, Annotation.PARALLEL)
+
+    def vectorize(self, dim: Dim) -> "Schedule":
+        """Mark a loop for vectorisation."""
+        return self._annotate(dim, Annotation.VECTORIZE)
+
+    def unroll(self, dim: Dim) -> "Schedule":
+        return self._annotate(dim, Annotation.UNROLL)
+
+    def bind(self, dim: Dim, thread_axis: str) -> "Schedule":
+        """Bind a loop to a GPU thread axis (``"blockIdx"`` or ``"threadIdx"``)."""
+        if thread_axis == "blockIdx":
+            return self._annotate(dim, Annotation.BIND_BLOCK)
+        if thread_axis == "threadIdx":
+            return self._annotate(dim, Annotation.BIND_THREAD)
+        raise ScheduleError(f"unknown thread axis {thread_axis!r}")
+
+    def thread_remap(self, dim: Dim,
+                     policy: Union[str, Callable[[np.ndarray], np.ndarray]] = "sort_desc",
+                     ) -> "Schedule":
+        """Attach a thread-remapping (load balancing) policy to a parallel loop."""
+        self._loop_index(dim)
+        self.remaps.append(RemapInfo(dim=dim, policy=policy))
+        return self
+
+    def no_load_hoisting(self) -> "Schedule":
+        """Disable hoisting of auxiliary-data loads out of inner loops.
+
+        Used by the Figure 23 benchmark to quantify the cost of repeated
+        indirect accesses to the prelude-built arrays.
+        """
+        self.hoist_loads = False
+        return self
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check cross-primitive invariants before lowering."""
+        for dim, loop_pad in self.loop_padding.items():
+            if dim in self.operator.dims:
+                storage_pad = self.storage_padding.get(dim, 1)
+                storage_ext = dict(zip(self.operator.dims, self.operator.storage_extents))[dim]
+                if not storage_ext.is_constant and storage_pad % loop_pad != 0 and storage_pad < loop_pad:
+                    raise ScheduleError(
+                        f"storage padding ({storage_pad}) of {dim.name} must "
+                        f"be at least the loop padding ({loop_pad}) so the "
+                        "padded loop never accesses non-existent storage"
+                    )
+        for dim, loop_pad in self.loop_padding.items():
+            storage_pad = self.storage_padding.get(dim, 1)
+            storage_ext_map = dict(zip(self.operator.dims, self.operator.storage_extents))
+            if dim in storage_ext_map and not storage_ext_map[dim].is_constant:
+                if storage_pad < loop_pad:
+                    raise ScheduleError(
+                        f"storage padding ({storage_pad}) of {dim.name} is "
+                        f"smaller than its loop padding ({loop_pad})"
+                    )
+
+    # -- lowering entry point ---------------------------------------------------------
+
+    def lower(self):
+        """Lower this schedule to a loop nest (see :mod:`repro.core.lowering`)."""
+        from repro.core.lowering import lower_schedule
+
+        self.validate()
+        return lower_schedule(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.operator.name!r}, "
+            f"loops={[d.name for d in self.loop_order]})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Operation splitting and horizontal fusion (Section 4.1, Figure 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SplitOperator:
+    """One piece of an operation split: the operator plus its loop sub-range.
+
+    ``range_fn(outer_index) -> (lo, hi)`` gives the iteration sub-range of
+    the split loop handled by this piece.
+    """
+
+    operator: RaggedOperator
+    split_dim: Dim
+    range_fn: Callable[[int], Tuple[int, int]]
+    label: str = ""
+
+
+def operation_split(
+    operator: RaggedOperator,
+    dim: Dim,
+    split_point: Union[int, Callable[[int], int]],
+) -> Tuple[SplitOperator, SplitOperator]:
+    """Split an operator into two along one of its loops (Figure 5, step 1).
+
+    The first piece handles iterations ``[0, split_point)`` of ``dim``, the
+    second ``[split_point, bound)``.  For a vloop the split point may be a
+    function of the outer index (e.g. "the largest multiple of the tile size
+    not exceeding the bound").  The two pieces can then be horizontally fused
+    so they execute concurrently as a single kernel.
+    """
+    if dim not in operator.dims:
+        raise ScheduleError(f"{dim.name} is not a loop of {operator.name}")
+    extent = dict(zip(operator.dims, operator.loop_extents))[dim]
+
+    def point(o: int) -> int:
+        if callable(split_point):
+            return int(split_point(o))
+        return int(split_point)
+
+    def main_range(o: int) -> Tuple[int, int]:
+        bound = int(extent(o)) if extent.deps else int(extent())
+        return (0, min(point(o), bound))
+
+    def tail_range(o: int) -> Tuple[int, int]:
+        bound = int(extent(o)) if extent.deps else int(extent())
+        return (min(point(o), bound), bound)
+
+    main = SplitOperator(operator=operator, split_dim=dim, range_fn=main_range,
+                         label=f"{operator.name}.main")
+    tail = SplitOperator(operator=operator, split_dim=dim, range_fn=tail_range,
+                         label=f"{operator.name}.tail")
+    return main, tail
+
+
+@dataclass
+class HFusedGroup:
+    """A group of operators horizontally fused into one kernel launch.
+
+    Horizontal fusion (Section 4.1) executes the member operators
+    concurrently on the device, restoring the parallelism lost by operation
+    splitting; the cost model accounts for a single kernel launch and takes
+    the maximum (not the sum) of the member latencies when enough parallel
+    units are available.
+    """
+
+    members: List[SplitOperator]
+    label: str = "hfused"
+
+
+def horizontal_fuse(*members: SplitOperator, label: str = "hfused") -> HFusedGroup:
+    """Horizontally fuse the outermost loops of several (split) operators."""
+    if len(members) < 2:
+        raise ScheduleError("horizontal fusion needs at least two operators")
+    return HFusedGroup(members=list(members), label=label)

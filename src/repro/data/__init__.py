@@ -1,0 +1,11 @@
+"""Workload generators: the sequence-length datasets of the paper's Table 3."""
+
+from repro.data.datasets import (
+    DATASETS,
+    Dataset,
+    dataset_names,
+    get_dataset,
+    sample_lengths,
+)
+
+__all__ = ["Dataset", "DATASETS", "get_dataset", "dataset_names", "sample_lengths"]

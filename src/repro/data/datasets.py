@@ -1,0 +1,146 @@
+"""Synthetic sequence-length workloads matched to the paper's datasets.
+
+The paper's transformer evaluation (Section 7.2, Table 3) uses the sequence
+lengths of eight NLP datasets after standard preprocessing.  The raw corpora
+are not available offline, so this module generates *synthetic* length
+distributions matched to the minimum / mean / maximum statistics the paper
+reports for each dataset.  Every experiment in the paper only depends on the
+distribution of lengths within a mini-batch, so this substitution preserves
+the quantities being measured (amount of padding, load imbalance,
+computation savings); see DESIGN.md.
+
+Lengths are sampled from a scaled Beta distribution whose shape parameters
+are fitted so that the sample mean matches the reported mean, clipped to the
+reported [min, max].  Sampling is deterministic given (dataset, batch size,
+seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Sequence-length statistics of one evaluation dataset (paper Table 3)."""
+
+    name: str
+    min_len: int
+    mean_len: int
+    max_len: int
+    #: concentration of the fitted Beta distribution (higher = tighter around
+    #: the mean); tuned per dataset so the tails look plausible.
+    concentration: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not (self.min_len <= self.mean_len <= self.max_len):
+            raise ValueError(
+                f"{self.name}: need min <= mean <= max, got "
+                f"{self.min_len}/{self.mean_len}/{self.max_len}"
+            )
+
+    # -- sampling -------------------------------------------------------------
+
+    def _seed_for(self, batch_size: int, seed: int) -> int:
+        digest = hashlib.sha256(
+            f"{self.name}:{batch_size}:{seed}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def sample_lengths(self, batch_size: int, seed: int = 0) -> np.ndarray:
+        """Sample a mini-batch of sequence lengths.
+
+        The sample is deterministic in ``(dataset, batch_size, seed)`` and is
+        adjusted so its mean is close to the dataset's reported mean.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.min_len == self.max_len:
+            return np.full(batch_size, self.max_len, dtype=np.int64)
+        rng = np.random.default_rng(self._seed_for(batch_size, seed))
+        span = self.max_len - self.min_len
+        mean_frac = (self.mean_len - self.min_len) / span
+        mean_frac = min(max(mean_frac, 0.02), 0.98)
+        a = mean_frac * self.concentration
+        b = (1.0 - mean_frac) * self.concentration
+        frac = rng.beta(a, b, size=batch_size)
+        lengths = np.round(self.min_len + frac * span).astype(np.int64)
+        lengths = np.clip(lengths, self.min_len, self.max_len)
+        # Nudge the sample mean towards the reported mean (keeps experiments
+        # such as Figure 2 close to the paper's analytical curves).
+        target_total = int(round(self.mean_len * batch_size))
+        diff = target_total - int(lengths.sum())
+        step = 1 if diff > 0 else -1
+        order = rng.permutation(batch_size)
+        i = 0
+        while diff != 0 and i < 10 * batch_size:
+            idx = order[i % batch_size]
+            candidate = lengths[idx] + step
+            if self.min_len <= candidate <= self.max_len:
+                lengths[idx] = candidate
+                diff -= step
+            i += 1
+        return lengths
+
+    @property
+    def padding_ratio_estimate(self) -> float:
+        """Rough padded-to-useful ratio when padding to the dataset maximum."""
+        return self.max_len / max(self.mean_len, 1)
+
+
+# Table 3 of the paper: Min / Mean / Max sequence lengths per dataset.
+DATASETS: Dict[str, Dataset] = {
+    "RACE": Dataset("RACE", 80, 364, 512, concentration=4.0),
+    "Wiki512": Dataset("Wiki512", 12, 371, 512, concentration=3.0),
+    "SQuAD": Dataset("SQuAD", 39, 192, 384, concentration=4.0),
+    "Wiki128": Dataset("Wiki128", 14, 117, 128, concentration=3.0),
+    "MNLI": Dataset("MNLI", 9, 43, 128, concentration=4.0),
+    "XNLI": Dataset("XNLI", 9, 70, 128, concentration=4.0),
+    "MRPC": Dataset("MRPC", 21, 59, 102, concentration=5.0),
+    "CoLA": Dataset("CoLA", 6, 13, 37, concentration=5.0),
+}
+
+#: Dataset order used throughout the paper's tables and figures.
+DATASET_ORDER: List[str] = [
+    "RACE", "Wiki512", "SQuAD", "Wiki128", "MNLI", "XNLI", "MRPC", "CoLA",
+]
+
+
+def dataset_names() -> List[str]:
+    """The eight evaluation datasets in the paper's canonical order."""
+    return list(DATASET_ORDER)
+
+
+def get_dataset(name: str) -> Dataset:
+    """Look up a dataset by (case-insensitive) name."""
+    for key, ds in DATASETS.items():
+        if key.lower() == name.lower():
+            return ds
+    raise KeyError(
+        f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+    )
+
+
+def sample_lengths(name: str, batch_size: int, seed: int = 0) -> np.ndarray:
+    """Convenience wrapper: sample a mini-batch of lengths for a dataset."""
+    return get_dataset(name).sample_lengths(batch_size, seed=seed)
+
+
+def uniform_multiple_lengths(
+    batch_size: int, low: int, high: int, multiple: int, seed: int = 0
+) -> np.ndarray:
+    """Lengths drawn uniformly from multiples of ``multiple`` in ``[low, high]``.
+
+    This is the synthetic workload of the vgemm experiment (Section 7.1):
+    "matrix dimensions are uniformly randomly chosen multiples of 128 in
+    [512, 1408]".
+    """
+    rng = np.random.default_rng(seed)
+    choices = np.arange(low, high + 1, multiple, dtype=np.int64)
+    if choices.size == 0:
+        raise ValueError("no multiples of the given value lie in [low, high]")
+    return rng.choice(choices, size=batch_size)

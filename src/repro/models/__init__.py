@@ -1,0 +1,34 @@
+"""Transformer models assembled from CoRa operators and baseline strategies.
+
+``repro.models.config`` is imported eagerly (the operator library depends on
+the hyperparameter dataclass); the heavier ``repro.models.transformer``
+module is loaded lazily to avoid a circular import with ``repro.ops``.
+"""
+
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+
+__all__ = [
+    "TransformerConfig",
+    "PAPER_BASE_CONFIG",
+    "encoder_layer_workload",
+    "encoder_operator_breakdown",
+    "mha_workload",
+    "run_encoder_layer_numeric",
+    "EncoderLayerResult",
+]
+
+_LAZY = {
+    "encoder_layer_workload",
+    "encoder_operator_breakdown",
+    "mha_workload",
+    "run_encoder_layer_numeric",
+    "EncoderLayerResult",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.models import transformer
+
+        return getattr(transformer, name)
+    raise AttributeError(f"module 'repro.models' has no attribute {name!r}")

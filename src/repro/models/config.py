@@ -1,0 +1,43 @@
+"""Transformer model hyperparameters.
+
+The paper evaluates a 6-layer encoder with the "base" hyperparameters of
+Vaswani et al. (2017): hidden size 512, 8 attention heads of size 64 and an
+inner feed-forward size of 2048 (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyperparameters of the transformer encoder used in the evaluation."""
+
+    hidden_size: int = 512
+    num_heads: int = 8
+    head_size: int = 64
+    ff_size: int = 2048
+    num_layers: int = 6
+    #: multiple to which individual vloops are padded in CoRa's schedules
+    loop_pad: int = 32
+    #: multiple to which the fused (bulk-padded) sequence-sum is padded
+    bulk_pad: int = 64
+    #: tile size used by the attention operators (operation splitting)
+    attention_tile: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_heads * self.head_size != self.hidden_size:
+            raise ValueError(
+                "hidden_size must equal num_heads * head_size "
+                f"({self.num_heads} * {self.head_size} != {self.hidden_size})"
+            )
+
+    @property
+    def qkv_size(self) -> int:
+        """Size of the concatenated query/key/value projection output."""
+        return 3 * self.hidden_size
+
+
+#: The configuration used throughout the paper's Section 7.2 evaluation.
+PAPER_BASE_CONFIG = TransformerConfig()

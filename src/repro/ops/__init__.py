@@ -1,0 +1,29 @@
+"""Ragged operator library.
+
+Each module provides, for one family of ragged operators:
+
+* a **numeric implementation** operating on ragged data (lists of per-slice
+  arrays or :class:`~repro.core.ragged_tensor.RaggedTensor`), used by the
+  correctness tests and the examples.  The inner dense tiles are delegated
+  to NumPy, mirroring how CoRa's CPU backend offloads inner gemm tiles to
+  MKL / OpenBLAS micro-kernels (Section 7.1);
+* a **workload builder** returning
+  :class:`~repro.substrates.costmodel.KernelLaunch` objects describing the
+  execution (FLOPs, bytes, parallelism, load balance, implementation class)
+  so the benchmark harness can evaluate it on a simulated device;
+* where relevant, **baseline variants** (fully padded, hand-optimized,
+  unsplit/unbalanced ...) matching the configurations compared in the
+  paper's figures.
+"""
+
+from repro.ops import attention, elementwise, layernorm, projection, softmax, trmm, vgemm
+
+__all__ = [
+    "elementwise",
+    "softmax",
+    "layernorm",
+    "projection",
+    "vgemm",
+    "trmm",
+    "attention",
+]

@@ -1,0 +1,53 @@
+"""Ragged layer normalisation.
+
+Layer normalisation acts independently on each token's hidden vector, so on
+ragged data it is a per-valid-token operation with no cross-sequence
+interaction -- exactly the kind of operator that needs no padding at all
+once the token dimension has been fused (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.substrates.costmodel import KernelLaunch, layernorm_flops
+
+
+def layernorm_slices(hidden: Sequence[np.ndarray],
+                     gamma: np.ndarray, beta: np.ndarray,
+                     eps: float = 1e-5) -> List[np.ndarray]:
+    """Layer-normalise each per-sequence ``(length, hidden)`` matrix."""
+    out = []
+    for h in hidden:
+        mean = h.mean(axis=-1, keepdims=True)
+        var = h.var(axis=-1, keepdims=True)
+        out.append((h - mean) / np.sqrt(var + eps) * gamma + beta)
+    return out
+
+
+def layernorm_flat(tokens: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                   eps: float = 1e-5) -> np.ndarray:
+    """Layer-normalise a flat ``(total_tokens, hidden)`` matrix.
+
+    This is the form used after vloop fusion: all valid tokens of the batch
+    are packed contiguously.
+    """
+    mean = tokens.mean(axis=-1, keepdims=True)
+    var = tokens.var(axis=-1, keepdims=True)
+    return (tokens - mean) / np.sqrt(var + eps) * gamma + beta
+
+
+def layernorm_launch(total_tokens: float, hidden: int,
+                     impl_class: str = "compiler",
+                     name: str = "LayerNorm") -> KernelLaunch:
+    """Describe a layer-normalisation kernel over ``total_tokens`` tokens."""
+    flops = layernorm_flops(total_tokens, hidden)
+    return KernelLaunch(
+        name=name,
+        flops=flops,
+        bytes_moved=total_tokens * hidden * 8.0,
+        impl_class=impl_class,
+        parallel_tasks=max(int(total_tokens), 1),
+    )

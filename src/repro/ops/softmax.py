@@ -1,0 +1,73 @@
+"""Ragged softmax.
+
+The softmax of the attention scores is computed row-wise over a ragged
+matrix: for batch element ``b`` the rows and columns both have length
+``s(b)``.  A fully padded implementation must either mask the padded
+columns (extra conditional work per element) or produce garbage that the
+next operator must ignore; the ragged implementation touches only valid
+elements (Section 7.2 discusses why CoRa's softmax also beats
+FasterTransformer's schedule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.substrates.costmodel import KernelLaunch, softmax_flops
+
+
+def softmax_slices(scores: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Numerically stable row-wise softmax over a list of per-batch matrices.
+
+    Each element of ``scores`` is an array whose last dimension is the
+    (variable) number of attention columns for that batch element.
+    """
+    out = []
+    for s in scores:
+        shifted = s - s.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        out.append(e / e.sum(axis=-1, keepdims=True))
+    return out
+
+
+def masked_softmax_dense(scores: np.ndarray, lengths: Sequence[int]) -> np.ndarray:
+    """The fully padded baseline: mask invalid columns then softmax.
+
+    ``scores`` has shape ``(batch, heads, max_len, max_len)``; columns and
+    rows beyond each sequence's length are masked to ``-inf`` / zeroed.
+    """
+    lengths = np.asarray(lengths)
+    batch, heads, max_len, _ = scores.shape
+    col = np.arange(max_len)
+    mask = col[None, :] < lengths[:, None]  # (batch, max_len)
+    masked = np.where(mask[:, None, None, :], scores, -np.inf)
+    shifted = masked - masked.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    out = e / np.maximum(e.sum(axis=-1, keepdims=True), 1e-30)
+    row_mask = mask[:, None, :, None]
+    return np.where(row_mask, out, 0.0)
+
+
+def softmax_launch(lengths: Sequence[int], num_heads: int,
+                   impl_class: str = "compiler",
+                   padded_to: int | None = None,
+                   name: str = "Softmax") -> KernelLaunch:
+    """Describe the softmax kernel over the (possibly padded) attention matrix."""
+    s = np.asarray(lengths, dtype=np.float64)
+    if padded_to is not None:
+        s = np.full_like(s, float(padded_to))
+    rows = num_heads * s
+    flops = float(softmax_flops(rows, s).sum()) if rows.ndim else softmax_flops(rows, s)
+    flops = float((8.0 * num_heads * np.square(s)).sum())
+    elements = float((num_heads * np.square(s)).sum())
+    return KernelLaunch(
+        name=name,
+        flops=flops,
+        bytes_moved=elements * 8.0,
+        impl_class=impl_class,
+        parallel_tasks=int(num_heads * s.size * max(s.mean(), 1) // 32) + 1,
+        task_work=num_heads * np.square(s),
+        balanced=True,
+    )

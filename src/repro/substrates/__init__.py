@@ -1,0 +1,36 @@
+"""Simulated hardware substrates.
+
+The paper evaluates CoRa on an Nvidia V100 GPU, an Intel CascadeLake CPU and
+8- / 64-core ARM Graviton2 CPUs.  None of that hardware (nor CUDA, cuBLAS,
+MKL, ...) is available to this reproduction, so the benchmark harness runs
+every implementation against an *analytical device model*: a roofline-style
+simulator parameterised by peak throughput, memory bandwidth, the number of
+parallel execution units, kernel-launch overhead and host-to-device copy
+bandwidth.
+
+The model is intentionally simple -- the paper's headline results are driven
+by the amount of (wasted) computation each execution strategy performs and
+by launch / copy / imbalance overheads, all of which the model captures.
+Absolute milliseconds are not expected to match the paper; the *shape* of
+each figure (who wins, by roughly what factor, where crossovers fall) is.
+"""
+
+from repro.substrates.costmodel import CostModel, KernelLaunch, Workload
+from repro.substrates.device import (
+    Device,
+    arm_cpu_8core,
+    arm_cpu_64core,
+    intel_cpu,
+    v100_gpu,
+)
+
+__all__ = [
+    "CostModel",
+    "KernelLaunch",
+    "Workload",
+    "Device",
+    "v100_gpu",
+    "intel_cpu",
+    "arm_cpu_8core",
+    "arm_cpu_64core",
+]

@@ -1,0 +1,167 @@
+"""Simulated devices.
+
+A :class:`Device` is a named bag of hardware parameters plus a couple of
+helper methods (`kernel_time`, `copy_time`) used directly by the executor.
+The full multi-kernel simulation (launch overheads, load imbalance across
+parallel units, horizontal fusion, efficiency classes) lives in
+:mod:`repro.substrates.costmodel`.
+
+The preset constructors approximate the four platforms of the paper's
+Table 2.  Their absolute numbers are rough by design; what matters is the
+*relative* structure: the GPU has massive parallelism and high launch /
+copy overheads, the CPUs have little parallelism and none of those
+overheads, and the 8-core CPU exposes 8x less parallelism than the 64-core
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Device:
+    """An analytically modelled execution platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    peak_gflops:
+        Peak single-precision throughput in GFLOP/s.
+    mem_bandwidth_gbps:
+        Device memory bandwidth in GB/s.
+    parallel_units:
+        Number of independent execution units (GPU SMs / CPU cores) used to
+        model occupancy and load imbalance.
+    launch_overhead_us:
+        Fixed overhead per kernel launch in microseconds (0 for CPUs).
+    h2d_bandwidth_gbps:
+        Host-to-device copy bandwidth in GB/s (irrelevant for CPUs).
+    h2d_latency_us:
+        Fixed latency per host-to-device copy in microseconds.
+    is_gpu:
+        Whether the device behaves like a massively parallel accelerator.
+    sync_overhead_us_per_unit:
+        Per-kernel cost (in microseconds, per participating execution unit)
+        of forking and joining a parallel region on a CPU -- the OpenMP /
+        thread-pool barrier cost.  Zero for GPUs.  This is what makes
+        executing a mini-batch as many tiny micro-batches unattractive on
+        many-core CPUs (Table 9).
+    efficiency:
+        Fraction of peak achievable by each implementation class:
+        ``"vendor"`` (cuBLAS / MKL hand-tuned kernels), ``"handopt"``
+        (hand-written CUDA such as FasterTransformer's custom kernels),
+        ``"compiler"`` (CoRa / TVM generated code) and ``"framework"``
+        (framework-dispatched kernels with framework overheads).
+    """
+
+    name: str
+    peak_gflops: float
+    mem_bandwidth_gbps: float
+    parallel_units: int
+    launch_overhead_us: float
+    h2d_bandwidth_gbps: float
+    h2d_latency_us: float
+    is_gpu: bool
+    efficiency: Dict[str, float] = field(default_factory=dict)
+    sync_overhead_us_per_unit: float = 0.0
+
+    def efficiency_of(self, impl_class: str) -> float:
+        return self.efficiency.get(impl_class, 0.6)
+
+    # -- simple single-kernel helpers (used by the executor) -----------------
+
+    def kernel_time(self, flops: float, bytes_moved: float,
+                    impl_class: str = "compiler",
+                    parallel_tasks: int | None = None) -> float:
+        """Roofline time (seconds) of one kernel, including launch overhead."""
+        eff = self.efficiency_of(impl_class)
+        occupancy = 1.0
+        if parallel_tasks is not None and parallel_tasks < self.parallel_units:
+            occupancy = max(parallel_tasks, 1) / self.parallel_units
+        compute_s = flops / (self.peak_gflops * 1e9 * eff * occupancy)
+        memory_s = bytes_moved / (self.mem_bandwidth_gbps * 1e9)
+        return max(compute_s, memory_s) + self.launch_overhead_us * 1e-6
+
+    def copy_time(self, nbytes: float) -> float:
+        """Host-to-device copy time in seconds (zero-ish for CPUs)."""
+        if not self.is_gpu:
+            return 0.0
+        return self.h2d_latency_us * 1e-6 + nbytes / (self.h2d_bandwidth_gbps * 1e9)
+
+    def __repr__(self) -> str:
+        return f"Device({self.name!r}, {self.peak_gflops:.0f} GFLOP/s, {self.parallel_units} units)"
+
+
+def v100_gpu() -> Device:
+    """An Nvidia Tesla V100-like accelerator (Table 2, first row)."""
+    return Device(
+        name="nvidia-v100",
+        peak_gflops=14000.0,
+        mem_bandwidth_gbps=900.0,
+        parallel_units=80,
+        launch_overhead_us=6.0,
+        h2d_bandwidth_gbps=12.0,
+        h2d_latency_us=8.0,
+        is_gpu=True,
+        efficiency={
+            "vendor": 0.85,
+            "handopt": 0.78,
+            "compiler": 0.72,
+            "framework": 0.70,
+        },
+    )
+
+
+def intel_cpu() -> Device:
+    """An 8-core / 16-thread Intel CascadeLake-like CPU (Table 2)."""
+    return Device(
+        name="intel-cascadelake-16t",
+        peak_gflops=1100.0,
+        mem_bandwidth_gbps=90.0,
+        parallel_units=16,
+        launch_overhead_us=0.0,
+        h2d_bandwidth_gbps=0.0,
+        h2d_latency_us=0.0,
+        is_gpu=False,
+        efficiency={
+            "vendor": 0.80,
+            "handopt": 0.72,
+            "compiler": 0.68,
+            "framework": 0.62,
+        },
+        sync_overhead_us_per_unit=1.0,
+    )
+
+
+def arm_cpu_64core(threads: int = 64) -> Device:
+    """A 64-core ARM Graviton2-like CPU (Table 2).
+
+    ``threads`` allows the Figure 27 thread-scaling experiment to model the
+    same chip restricted to fewer cores.
+    """
+    threads = max(1, min(int(threads), 64))
+    return Device(
+        name=f"arm-graviton2-{threads}core",
+        peak_gflops=20.0 * threads,
+        mem_bandwidth_gbps=min(200.0, 25.0 + 2.8 * threads),
+        parallel_units=threads,
+        launch_overhead_us=0.0,
+        h2d_bandwidth_gbps=0.0,
+        h2d_latency_us=0.0,
+        is_gpu=False,
+        efficiency={
+            "vendor": 0.78,
+            "handopt": 0.70,
+            "compiler": 0.66,
+            "framework": 0.58,
+        },
+        sync_overhead_us_per_unit=1.2,
+    )
+
+
+def arm_cpu_8core() -> Device:
+    """An 8-core ARM Graviton2-like CPU (Table 2)."""
+    return arm_cpu_64core(threads=8)

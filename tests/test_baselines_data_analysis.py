@@ -1,0 +1,180 @@
+"""Tests for the baselines, dataset generators and analytical models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.flops import (
+    attention_flops,
+    encoder_layer_flops,
+    masked_sdpa_flops,
+    mha_flops,
+    partial_padding_overhead,
+    wasted_computation_ratio,
+)
+from repro.analysis.memory import (
+    activation_memory_bytes,
+    memory_report,
+    memory_savings_ratio,
+)
+from repro.baselines.dense_padded import framework_mha_latency_ms
+from repro.baselines.microbatch import (
+    candidate_sizes,
+    microbatched_latency,
+    split_into_microbatches,
+)
+from repro.data.datasets import (
+    DATASETS,
+    dataset_names,
+    get_dataset,
+    sample_lengths,
+    uniform_multiple_lengths,
+)
+from repro.models.config import PAPER_BASE_CONFIG
+from repro.models.transformer import mha_workload
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import arm_cpu_8core, arm_cpu_64core
+
+
+class TestDatasets:
+    def test_all_eight_datasets_present(self):
+        assert len(dataset_names()) == 8
+        assert set(dataset_names()) == set(DATASETS)
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("cola").name == "CoLA"
+        with pytest.raises(KeyError):
+            get_dataset("ImageNet")
+
+    @pytest.mark.parametrize("name", ["RACE", "Wiki512", "SQuAD", "Wiki128",
+                                      "MNLI", "XNLI", "MRPC", "CoLA"])
+    def test_samples_within_bounds_and_near_mean(self, name):
+        ds = get_dataset(name)
+        lengths = ds.sample_lengths(128, seed=0)
+        assert lengths.min() >= ds.min_len
+        assert lengths.max() <= ds.max_len
+        assert abs(lengths.mean() - ds.mean_len) <= max(0.05 * ds.mean_len, 2.0)
+
+    def test_deterministic_sampling(self):
+        a = sample_lengths("RACE", 32, seed=1)
+        b = sample_lengths("RACE", 32, seed=1)
+        c = sample_lengths("RACE", 32, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            sample_lengths("RACE", 0)
+
+    def test_uniform_multiple_lengths(self):
+        lens = uniform_multiple_lengths(100, 512, 1408, 128, seed=0)
+        assert np.all(lens % 128 == 0)
+        assert lens.min() >= 512 and lens.max() <= 1408
+
+
+class TestFlopAnalysis:
+    def test_wasted_computation_grows_with_spread(self):
+        """Figure 2: more length variation -> more wasted computation."""
+        tight = wasted_computation_ratio(np.full(64, 300))
+        spread = wasted_computation_ratio(sample_lengths("MNLI", 64))
+        assert tight == pytest.approx(1.0)
+        assert spread > 1.5
+
+    def test_dataset_ordering_matches_figure2(self):
+        """Wiki128 offers the least opportunity, MNLI/CoLA the most."""
+        at_128 = {ds: wasted_computation_ratio(sample_lengths(ds, 128))
+                  for ds in dataset_names()}
+        assert at_128["Wiki128"] < at_128["RACE"] < at_128["MNLI"]
+
+    def test_wasted_computation_grows_with_batch_size(self):
+        small = wasted_computation_ratio(sample_lengths("RACE", 2))
+        large = wasted_computation_ratio(sample_lengths("RACE", 128))
+        assert large >= small
+
+    def test_encoder_flops_components(self):
+        lengths = [100, 200]
+        assert attention_flops(lengths) < mha_flops(lengths) < encoder_layer_flops(lengths)
+
+    def test_partial_padding_overhead_small(self):
+        """Figure 22 / Section 7.4: a few percent, shrinking with batch size."""
+        small = partial_padding_overhead(sample_lengths("MRPC", 32))
+        large = partial_padding_overhead(sample_lengths("MRPC", 128))
+        for report in (small, large):
+            assert report["ideal"] == 1.0
+            assert 1.0 <= report["actual"] < 1.15
+            assert report["dense"] > report["actual"]
+        assert large["actual"] - 1.0 <= small["actual"] - 1.0 + 1e-9
+
+    def test_masked_sdpa_flops_ordering(self):
+        lengths = sample_lengths("RACE", 32)
+        nopad = masked_sdpa_flops(lengths, strategy="nopad")
+        pad = masked_sdpa_flops(lengths, strategy="pad")
+        dense = masked_sdpa_flops(lengths, strategy="dense")
+        assert nopad < pad < dense
+        with pytest.raises(ValueError):
+            masked_sdpa_flops(lengths, strategy="bogus")
+
+
+class TestMemoryAnalysis:
+    def test_ragged_saves_memory(self):
+        lengths = sample_lengths("MNLI", 64)
+        assert memory_savings_ratio(lengths) > 1.5
+
+    def test_wiki_datasets_save_little(self):
+        """Section D.5: Wiki512 / Wiki128 see only small benefits."""
+        assert memory_savings_ratio(sample_lengths("Wiki128", 64)) < \
+            memory_savings_ratio(sample_lengths("MNLI", 64))
+
+    def test_report_structure(self):
+        report = memory_report({ds: sample_lengths(ds, 64) for ds in dataset_names()})
+        assert set(report) == set(dataset_names())
+        for entry in report.values():
+            assert entry["dense_bytes"] >= entry["ragged_bytes"]
+            assert 0 < entry["relative"] <= 1.0
+
+    def test_dense_equals_ragged_for_uniform_lengths(self):
+        uniform = np.full(16, 128)
+        dense = activation_memory_bytes(uniform, ragged=False)
+        ragged = activation_memory_bytes(uniform, ragged=True)
+        assert ragged <= dense * 1.01
+
+
+class TestMicroBatching:
+    def test_split_sizes(self):
+        chunks = split_into_microbatches([5, 1, 9, 3, 7], 2)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        # sorted before splitting
+        assert list(chunks[0]) == [1, 3]
+
+    def test_candidate_sizes(self):
+        assert candidate_sizes(32) == [2, 4, 8, 16, 32]
+        assert candidate_sizes(48) == [2, 4, 8, 16, 32, 48]
+
+    def test_search_finds_padding_optimum(self):
+        """With a padding-dominated cost, smaller micro-batches win."""
+        lengths = sample_lengths("MNLI", 64)
+
+        def latency(chunk):
+            return float(len(chunk) * chunk.max())  # fully padded cost
+
+        result = microbatched_latency(lengths, latency)
+        assert result.best_micro_batch < 64
+        assert result.best_latency_ms <= result.per_size_ms[64]
+        assert result.speedup_over_full_batch() >= 1.0
+
+    def test_microbatching_helps_tf_on_cpu(self):
+        """Table 9: TF-UB beats TF for datasets with much length variation."""
+        lengths = sample_lengths("SQuAD", 64)
+        model = CostModel(arm_cpu_64core())
+        full = model.latency_ms(mha_workload(lengths, "tf"))
+        result = microbatched_latency(
+            lengths, lambda chunk: model.latency_ms(mha_workload(chunk, "tf")))
+        assert result.best_latency_ms < full
+
+    def test_pytorch_scaling_pathology(self):
+        """Figure 27 / Table 9: PyTorch MHA degrades on the 64-core CPU."""
+        lengths = sample_lengths("RACE", 32)
+        fast = framework_mha_latency_ms(lengths, arm_cpu_8core(), framework="pt")
+        slow = framework_mha_latency_ms(lengths, arm_cpu_64core(), framework="pt")
+        tf64 = framework_mha_latency_ms(lengths, arm_cpu_64core(), framework="tf")
+        assert slow > fast  # more cores, *slower* PyTorch
+        assert slow > 10 * tf64

@@ -1,0 +1,124 @@
+"""Tests for bounds inference and fused-vloop range translation (Figure 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    Range,
+    check_fusion_axioms,
+    fused_range_of,
+    infer_input_regions,
+    infer_loop_ranges,
+    inner_range_of,
+    outer_range_of,
+)
+from repro.core.dims import Dim
+from repro.core.errors import BoundsError
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import LoopVar
+from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
+from repro.core.prelude import build_fusion_maps
+
+LENGTHS = [5, 2, 3]
+
+
+class TestRange:
+    def test_extent(self):
+        assert Range(2, 5).extent == 4
+
+    def test_inverted_rejected(self):
+        with pytest.raises(BoundsError):
+            Range(3, 2)
+
+    def test_union_contains(self):
+        a, b = Range(0, 3), Range(2, 6)
+        assert a.union(b) == Range(0, 6)
+        assert Range(0, 10).contains(a)
+        assert not a.contains(b)
+
+
+class TestFigure7Rules:
+    def setup_method(self):
+        self.maps = build_fusion_maps(LENGTHS)
+
+    def test_fused_range_of_full_space(self):
+        f = fused_range_of(Range(0, 2), Range(0, 2), self.maps)
+        assert f == Range(0, 9)
+
+    def test_outer_range_of(self):
+        assert outer_range_of(Range(0, 4), self.maps) == Range(0, 0)
+        assert outer_range_of(Range(3, 6), self.maps) == Range(0, 1)
+        assert outer_range_of(Range(0, 9), self.maps) == Range(0, 2)
+
+    def test_inner_range_single_row(self):
+        # Fused indices 5..6 all lie in row 1 -> i in [0, 1]
+        assert inner_range_of(Range(5, 6), self.maps) == Range(0, 1)
+
+    def test_inner_range_multi_row_needs_lengths(self):
+        with pytest.raises(BoundsError):
+            inner_range_of(Range(0, 9), self.maps)
+        r = inner_range_of(Range(0, 9), self.maps, lengths=LENGTHS)
+        assert r == Range(0, 4)
+
+    def test_roundtrip_consistency(self):
+        """fused(outer, inner) then back recovers a covering range."""
+        f = fused_range_of(Range(1, 2), Range(0, 1), self.maps)
+        back = outer_range_of(f, self.maps)
+        assert back.contains(Range(1, 2))
+
+    def test_axioms_hold(self):
+        assert check_fusion_axioms(self.maps)
+        assert check_fusion_axioms(build_fusion_maps([1, 7, 0, 2]))
+
+
+class TestRegionInference:
+    def _op(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        lens = np.asarray(LENGTHS)
+        A = input_tensor("A", [batch, seq],
+                         [ConstExtent(3), VarExtent(batch, lens)])
+        op = compute("B", [batch, seq],
+                     [ConstExtent(3), VarExtent(batch, lens)],
+                     lambda o, i: 2.0 * A[o, i])
+        return op, batch, seq
+
+    def test_identity_access_regions(self):
+        op, batch, seq = self._op()
+        regions = infer_input_regions(op, {batch: Range(0, 2), seq: Range(0, 4)})
+        assert regions["A"] == [Range(0, 2), Range(0, 4)]
+
+    def test_partial_output_region(self):
+        op, batch, seq = self._op()
+        regions = infer_input_regions(op, {batch: Range(1, 1), seq: Range(0, 1)})
+        assert regions["A"] == [Range(1, 1), Range(0, 1)]
+
+    def test_shifted_access(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        A = input_tensor("A", [batch, seq], [ConstExtent(3), ConstExtent(8)])
+        op = compute("B", [batch, seq], [ConstExtent(3), ConstExtent(6)],
+                     lambda o, i: A[o, i + 2])
+        regions = infer_input_regions(op, {batch: Range(0, 2), seq: Range(0, 5)})
+        assert regions["A"][1] == Range(2, 7)
+
+    def test_reduction_region_covers_axis(self):
+        batch, seq, j = Dim("batch"), Dim("seq"), Dim("j")
+        lens = np.asarray(LENGTHS)
+        A = input_tensor("A", [batch, seq], [ConstExtent(3), VarExtent(batch, lens)])
+        k = reduce_axis(VarExtent(batch, lens), "k")
+        op = compute("C", [batch, j], [ConstExtent(3), ConstExtent(4)],
+                     lambda b, jj: sum_reduce(A[b, LoopVar(k.dim)] * 1.0, k))
+        regions = infer_input_regions(op, {batch: Range(0, 0), j: Range(0, 3)})
+        assert regions["A"] == [Range(0, 0), Range(0, 4)]
+
+    def test_missing_range_raises(self):
+        op, batch, seq = self._op()
+        with pytest.raises(BoundsError):
+            infer_input_regions(op, {batch: Range(0, 2)})
+
+    def test_infer_loop_ranges(self):
+        op, batch, seq = self._op()
+        full = infer_loop_ranges(op)
+        assert full[batch] == Range(0, 2)
+        assert full[seq] == Range(0, 4)
+        per_row = infer_loop_ranges(op, governing_index=1)
+        assert per_row[seq] == Range(0, 1)

@@ -1,0 +1,204 @@
+"""End-to-end tests: schedule -> lowering -> generated Python kernel -> results."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.errors import ExecutionError
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.executor import Executor
+from repro.core.ir import LoopVar, exp, relu
+from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.schedule import Schedule
+from repro.core.storage import RaggedLayout
+
+LENGTHS = np.array([5, 2, 3])
+
+
+def elementwise_setup():
+    batch, seq = Dim("batch"), Dim("seq")
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)],
+                 lambda o, i: 2.0 * A[o, i])
+    layout = RaggedLayout([batch, seq],
+                          [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)])
+    data = RaggedTensor.random(layout, seed=1)
+    return op, batch, seq, data
+
+
+class TestElementwise:
+    def test_plain_schedule_correct(self):
+        op, batch, seq, data = elementwise_setup()
+        out, report = Executor().build_and_run(Schedule(op), {"A": data})
+        assert all(np.allclose(out.valid_slice(b), 2 * data.valid_slice(b))
+                   for b in range(3))
+        assert report.flops > 0
+
+    def test_padding_waste_reported(self):
+        op, batch, seq, data = elementwise_setup()
+        _, report = Executor().build_and_run(Schedule(op), {"A": data})
+        # ragged flops = 10 points, dense = 15 points
+        assert report.padding_waste == pytest.approx(1.5)
+
+    def test_generated_source_has_no_guard_for_plain_loops(self):
+        op, batch, seq, data = elementwise_setup()
+        compiled = Executor().compile(Schedule(op))
+        assert "if " not in compiled.source
+
+    def test_missing_input_raises(self):
+        op, batch, seq, data = elementwise_setup()
+        compiled = Executor().compile(Schedule(op))
+        with pytest.raises(ExecutionError):
+            Executor().run(compiled, {})
+
+    def test_wrong_size_input_raises(self):
+        op, batch, seq, data = elementwise_setup()
+        compiled = Executor().compile(Schedule(op))
+        with pytest.raises(ExecutionError):
+            Executor().run(compiled, {"A": np.zeros(3, dtype=np.float32)})
+
+
+class TestFusedAndPadded:
+    def test_fused_loop_kernel_correct(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        out, _ = Executor().build_and_run(sch, {"A": data})
+        assert out.allclose(RaggedTensor(data.layout, 2 * data.data))
+
+    def test_fused_source_uses_fusion_maps(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        compiled = Executor().compile(sch)
+        assert "ffo" in compiled.source
+        assert "row" in compiled.source
+
+    def test_padded_fused_kernel_correct(self):
+        op, batch, seq, _ = elementwise_setup()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 2)
+        sch.pad_dimension(seq, 4)
+        sch.pad_input_dimension("A", seq, 2)
+        sch.fuse_loops(batch, seq)
+        compiled = Executor().compile(sch)
+        padded_layout = RaggedLayout(
+            [op.dims[0], op.dims[1]],
+            [ConstExtent(3), VarExtent(op.dims[0], LENGTHS)],
+            storage_padding={op.dims[1]: 2},
+        )
+        data = RaggedTensor.random(padded_layout, seed=3)
+        out, _ = Executor().run(compiled, {"A": data})
+        for b in range(3):
+            valid = int(LENGTHS[b])
+            assert np.allclose(out.valid_slice(b)[:valid],
+                               2 * data.valid_slice(b)[:valid])
+
+    def test_fused_dims_store_uses_flat_index(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        sch.fuse_dimensions(batch, seq)
+        compiled = Executor().compile(sch)
+        out, _ = Executor().run(compiled, {"A": data})
+        # The output layout is flat; compare against the packed input.
+        assert np.allclose(out.data, 2 * data.data)
+
+
+class TestSplitAndRemap:
+    def test_split_vloop_kernel_correct(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.split(seq, 4)
+        out, _ = Executor().build_and_run(sch, {"A": data})
+        assert out.allclose(RaggedTensor(data.layout, 2 * data.data))
+
+    def test_split_source_contains_guard(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.split(seq, 4)
+        compiled = Executor().compile(sch)
+        assert "if " in compiled.source
+
+    def test_thread_remap_preserves_results(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.parallel(batch)
+        sch.thread_remap(batch, "sort_desc")
+        out, _ = Executor().build_and_run(sch, {"A": data})
+        assert all(np.allclose(out.valid_slice(b), 2 * data.valid_slice(b))
+                   for b in range(3))
+
+    def test_remap_source_indexes_permutation(self):
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.thread_remap(batch, "sort_desc")
+        compiled = Executor().compile(sch)
+        assert "remap" in compiled.source
+
+
+class TestReductionsAndIntrinsics:
+    def test_ragged_matmul(self):
+        batch, seq, j, h = Dim("batch"), Dim("seq"), Dim("j"), Dim("h")
+        lens = np.array([4, 2, 3])
+        A = input_tensor("A", [batch, seq, h],
+                         [ConstExtent(3), VarExtent(batch, lens), ConstExtent(6)])
+        W = input_tensor("W", [Dim("k_in"), j], [ConstExtent(6), ConstExtent(5)])
+        k = reduce_axis(6, "k")
+        op = compute("C", [batch, seq, j],
+                     [ConstExtent(3), VarExtent(batch, lens), ConstExtent(5)],
+                     lambda b, i, jj: sum_reduce(
+                         A[b, i, LoopVar(k.dim)] * W[LoopVar(k.dim), jj], k))
+        layout_a = RaggedLayout([batch, seq, h],
+                                [ConstExtent(3), VarExtent(batch, lens), ConstExtent(6)])
+        ta = RaggedTensor.random(layout_a, seed=2)
+        w = np.random.default_rng(5).standard_normal((6, 5)).astype(np.float32)
+        out, report = Executor().build_and_run(Schedule(op), {"A": ta, "W": w})
+        for b in range(3):
+            ref = ta.valid_slice(b) @ w
+            assert np.allclose(out.valid_slice(b), ref, atol=1e-4)
+        assert report.flops > report.dense_flops * 0.5
+
+    def test_variable_reduction_triangular(self):
+        """The reduction bound is a function of the row index (trmm-style)."""
+        row, col = Dim("row"), Dim("col")
+        n = 6
+        L = input_tensor("L", [row, Dim("rk")], [ConstExtent(n), ConstExtent(n)])
+        B = input_tensor("Bm", [Dim("rk2"), col], [ConstExtent(n), ConstExtent(n)])
+        k = reduce_axis(VarExtent(row, lambda r: r + 1), "k")
+        op = compute("T", [row, col], [ConstExtent(n), ConstExtent(n)],
+                     lambda r, c: sum_reduce(
+                         L[r, LoopVar(k.dim)] * B[LoopVar(k.dim), c], k))
+        rng = np.random.default_rng(0)
+        lower = np.tril(rng.standard_normal((n, n))).astype(np.float32)
+        dense = rng.standard_normal((n, n)).astype(np.float32)
+        out, _ = Executor().build_and_run(Schedule(op), {"L": lower, "Bm": dense})
+        ref = lower @ dense
+        assert np.allclose(out.to_dense(), ref, atol=1e-4)
+
+    def test_intrinsics_exp_relu(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        lens = np.array([3, 2])
+        A = input_tensor("A", [batch, seq],
+                         [ConstExtent(2), VarExtent(batch, lens)])
+        op = compute("E", [batch, seq],
+                     [ConstExtent(2), VarExtent(batch, lens)],
+                     lambda o, i: exp(A[o, i]) + relu(A[o, i] - 1.0))
+        layout = RaggedLayout([batch, seq], [ConstExtent(2), VarExtent(batch, lens)])
+        data = RaggedTensor.random(layout, seed=9)
+        out, _ = Executor().build_and_run(Schedule(op), {"A": data})
+        for b in range(2):
+            v = data.valid_slice(b)
+            ref = np.exp(v) + np.maximum(v - 1.0, 0.0)
+            assert np.allclose(out.valid_slice(b), ref, atol=1e-4)
+
+    def test_device_latency_reported_when_device_given(self):
+        from repro.substrates.device import v100_gpu
+
+        op, batch, seq, data = elementwise_setup()
+        _, report = Executor(device=v100_gpu()).build_and_run(Schedule(op), {"A": data})
+        assert report.device_latency_s is not None
+        assert report.device_latency_s > 0

@@ -1,0 +1,100 @@
+"""Tests for the dimension graph (dgraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dgraph import DimensionGraph
+from repro.core.dims import Dim
+from repro.core.errors import StorageError
+from repro.core.extents import ConstExtent, VarExtent
+
+
+def attention_layout_dims(lengths):
+    """The 4-D attention tensor of Figure 8: [batch, seq1, heads, seq2]."""
+    batch, seq1, heads, seq2 = Dim("batch"), Dim("seq1"), Dim("heads"), Dim("seq2")
+    dims = (batch, seq1, heads, seq2)
+    extents = (
+        ConstExtent(len(lengths)),
+        VarExtent(batch, lengths),
+        ConstExtent(2),
+        VarExtent(batch, lengths),
+    )
+    return dims, extents
+
+
+class TestStructure:
+    def test_edges_of_attention_tensor(self):
+        dims, extents = attention_layout_dims([1, 2])
+        g = DimensionGraph.from_layout(dims, extents)
+        assert g.outgoing(0) == [1, 3]
+        assert g.incoming(1) == [0]
+        assert g.incoming(3) == [0]
+        assert g.incoming(2) == []
+
+    def test_vdims_and_cdims(self):
+        dims, extents = attention_layout_dims([1, 2])
+        g = DimensionGraph.from_layout(dims, extents)
+        assert g.vdims() == [1, 3]
+        assert g.cdims() == [0, 2]
+
+    def test_transitive_outgoing(self):
+        dims, extents = attention_layout_dims([1, 2])
+        g = DimensionGraph.from_layout(dims, extents)
+        assert g.transitive_outgoing(0) == {1, 3}
+        assert g.transitive_outgoing(2) == set()
+
+    def test_index_of_unknown_dim(self):
+        dims, extents = attention_layout_dims([1, 2])
+        g = DimensionGraph.from_layout(dims, extents)
+        with pytest.raises(StorageError):
+            g.index_of(Dim("other"))
+
+    def test_repr_mentions_kinds(self):
+        dims, extents = attention_layout_dims([1, 2])
+        g = DimensionGraph.from_layout(dims, extents)
+        assert "batch" in repr(g)
+
+
+class TestValidation:
+    def test_outermost_must_be_cdim(self):
+        b = Dim("b")
+        with pytest.raises(StorageError):
+            DimensionGraph.from_layout((b,), (VarExtent(b, [1]),))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(StorageError):
+            DimensionGraph.from_layout((Dim("a"),), (ConstExtent(1), ConstExtent(2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            DimensionGraph.from_layout((), ())
+
+    def test_vdim_depending_on_inner_dim_rejected(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        # seq's extent depends on a dimension that appears *after* it.
+        with pytest.raises(StorageError):
+            DimensionGraph.from_layout(
+                (batch, seq, Dim("post")),
+                (ConstExtent(2), VarExtent(Dim("post"), [1, 2]), ConstExtent(2)),
+            )
+
+
+class TestAuxAccounting:
+    def test_cora_scheme_constant_in_inner_sizes(self):
+        lengths = np.array([3, 5, 2, 7])
+        dims, extents = attention_layout_dims(lengths)
+        g = DimensionGraph.from_layout(dims, extents)
+        # One cumulative array over the governing (batch) dimension.
+        assert g.cora_aux_entries(len(lengths)) == len(lengths) + 1
+
+    def test_sparse_scheme_grows_with_slices(self):
+        lengths = np.array([30, 50, 20, 70])
+        dims, extents = attention_layout_dims(lengths)
+        g = DimensionGraph.from_layout(dims, extents)
+        sparse = g.sparse_scheme_aux_entries(lengths)
+        cora = g.cora_aux_entries(len(lengths))
+        # The CSF-style scheme stores roughly s1 + s3 * sum(s) entries;
+        # CoRa's dgraph-aware scheme only needs one (s1 + 1)-entry array.
+        expected = (len(lengths) + 1) + (2 * int(lengths.sum()) + 1)
+        assert sparse == expected
+        assert sparse > 10 * cora

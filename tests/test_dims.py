@@ -1,0 +1,72 @@
+"""Tests for named dimensions."""
+
+import pytest
+
+from repro.core.dims import Dim, DimKind, FusedDim, fresh_dims
+
+
+class TestDim:
+    def test_name_assigned(self):
+        d = Dim("batch")
+        assert d.name == "batch"
+
+    def test_auto_name_unique(self):
+        a, b = Dim(), Dim()
+        assert a.name != b.name
+
+    def test_identity_equality(self):
+        a = Dim("x")
+        b = Dim("x")
+        assert a == a
+        assert a != b
+
+    def test_hashable_by_identity(self):
+        a = Dim("x")
+        b = Dim("x")
+        mapping = {a: 1, b: 2}
+        assert mapping[a] == 1
+        assert mapping[b] == 2
+
+    def test_repr_contains_name(self):
+        assert "seq" in repr(Dim("seq"))
+
+    def test_renamed_creates_new_identity(self):
+        a = Dim("x")
+        b = a.renamed("y")
+        assert b.name == "y"
+        assert a != b
+
+
+class TestFusedDim:
+    def test_parents(self):
+        o, i = Dim("o"), Dim("i")
+        f = FusedDim(outer=o, inner=i)
+        assert f.parents() == (o, i)
+
+    def test_default_name_from_parents(self):
+        o, i = Dim("batch"), Dim("seq")
+        f = FusedDim(outer=o, inner=i)
+        assert "batch" in f.name and "seq" in f.name
+
+    def test_missing_parent_raises(self):
+        f = FusedDim()
+        with pytest.raises(ValueError):
+            f.parents()
+
+    def test_is_a_dim(self):
+        f = FusedDim(outer=Dim("a"), inner=Dim("b"))
+        assert isinstance(f, Dim)
+
+    def test_hashable(self):
+        f = FusedDim(outer=Dim("a"), inner=Dim("b"))
+        assert {f: 1}[f] == 1
+
+
+class TestHelpers:
+    def test_fresh_dims(self):
+        batch, seq, hidden = fresh_dims("batch", "seq", "hidden")
+        assert [d.name for d in (batch, seq, hidden)] == ["batch", "seq", "hidden"]
+
+    def test_dimkind_values(self):
+        assert DimKind.CONSTANT.value == "cdim"
+        assert DimKind.VARIABLE.value == "vdim"

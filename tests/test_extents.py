@@ -1,0 +1,145 @@
+"""Tests for extents (constant, variable, padded)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.errors import CoraError
+from repro.core.extents import (
+    ConstExtent,
+    PaddedExtent,
+    VarExtent,
+    as_extent,
+    ceil_to,
+    loop_padding_of,
+    unpadded,
+)
+
+
+class TestCeilTo:
+    def test_exact_multiple(self):
+        assert ceil_to(64, 32) == 64
+
+    def test_rounds_up(self):
+        assert ceil_to(65, 32) == 96
+
+    def test_zero(self):
+        assert ceil_to(0, 8) == 0
+
+    def test_array(self):
+        out = ceil_to(np.array([1, 8, 9]), 8)
+        assert list(out) == [8, 8, 16]
+
+    def test_invalid_multiple(self):
+        with pytest.raises(ValueError):
+            ceil_to(5, 0)
+
+
+class TestConstExtent:
+    def test_call(self):
+        assert ConstExtent(7)() == 7
+
+    def test_is_constant(self):
+        assert ConstExtent(7).is_constant
+
+    def test_max_value(self):
+        assert ConstExtent(7).max_value() == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstExtent(-1)
+
+    def test_equality(self):
+        assert ConstExtent(3) == ConstExtent(3)
+        assert ConstExtent(3) != ConstExtent(4)
+
+    def test_values_and_total(self):
+        e = ConstExtent(5)
+        assert list(e.values()) == [5]
+        assert e.total() == 5
+
+
+class TestVarExtent:
+    def test_from_table(self):
+        b = Dim("b")
+        e = VarExtent(b, [3, 1, 4])
+        assert e(0) == 3 and e(2) == 4
+        assert not e.is_constant
+        assert e.max_value() == 4
+
+    def test_vectorised_call(self):
+        b = Dim("b")
+        e = VarExtent(b, np.array([3, 1, 4]))
+        out = e(np.array([0, 1, 2]))
+        assert list(out) == [3, 1, 4]
+
+    def test_from_callable(self):
+        b = Dim("b")
+        e = VarExtent(b, lambda i: i + 1)
+        assert e(4) == 5
+
+    def test_callable_max_value_raises(self):
+        e = VarExtent(Dim("b"), lambda i: i + 1)
+        with pytest.raises(CoraError):
+            e.max_value()
+
+    def test_total(self):
+        e = VarExtent(Dim("b"), [3, 1, 4])
+        assert e.total(3) == 8
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            VarExtent(Dim("b"), [3, -1])
+
+    def test_wrong_arity(self):
+        e = VarExtent(Dim("b"), [3, 1])
+        with pytest.raises(CoraError):
+            e(1, 2)
+
+    def test_dep_must_be_dim(self):
+        with pytest.raises(TypeError):
+            VarExtent("b", [1, 2])
+
+
+class TestPaddedExtent:
+    def test_pads_constant(self):
+        assert ConstExtent(5).padded(4)() == 8
+
+    def test_pads_variable(self):
+        b = Dim("b")
+        e = VarExtent(b, [5, 2, 8]).padded(4)
+        assert e(0) == 8 and e(1) == 4 and e(2) == 8
+
+    def test_pad_one_is_identity(self):
+        e = ConstExtent(5)
+        assert e.padded(1) is e
+
+    def test_nested_padding_lcm(self):
+        e = ConstExtent(5).padded(2).padded(3)
+        assert isinstance(e, PaddedExtent)
+        assert e.multiple == 6
+        assert e() == 6
+
+    def test_max_value_padded(self):
+        e = VarExtent(Dim("b"), [5, 2, 7]).padded(4)
+        assert e.max_value() == 8
+
+    def test_helpers(self):
+        base = VarExtent(Dim("b"), [5, 2])
+        padded = base.padded(4)
+        assert loop_padding_of(padded) == 4
+        assert loop_padding_of(base) == 1
+        assert unpadded(padded) is base
+
+
+class TestAsExtent:
+    def test_int_coerced(self):
+        assert as_extent(4) == ConstExtent(4)
+
+    def test_extent_passthrough(self):
+        e = ConstExtent(4)
+        assert as_extent(e) is e
+
+    def test_invalid(self):
+        with pytest.raises(TypeError):
+            as_extent("four")

@@ -1,0 +1,111 @@
+"""Integration tests asserting the *shape* of the paper's headline results.
+
+These tests run the same workload builders the benchmark harness uses and
+check the qualitative claims of the evaluation section: who wins, by roughly
+what factor, and where crossovers fall.  Absolute latencies are simulated
+and not expected to match the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.microbatch import microbatched_latency
+from repro.core.prelude import PreludeBuilder, build_sparse_scheme_aux
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.storage import RaggedLayout
+from repro.data.datasets import dataset_names, sample_lengths
+from repro.models.transformer import encoder_layer_workload, mha_workload
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import arm_cpu_64core, v100_gpu
+
+
+def geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+class TestHeadlineResults:
+    def test_encoder_speedup_over_pytorch_on_gpu(self):
+        """Abstract: ~1.6x geomean speedup over PyTorch on the GPU."""
+        model = CostModel(v100_gpu())
+        speedups = []
+        for ds in dataset_names():
+            for bs in (32, 64, 128):
+                lengths = sample_lengths(ds, bs)
+                pt = model.latency_ms(encoder_layer_workload(lengths, "pytorch"))
+                cora = model.latency_ms(encoder_layer_workload(lengths, "cora"))
+                speedups.append(pt / cora)
+        assert 1.3 <= geomean(speedups) <= 2.0
+
+    def test_encoder_competitive_with_ft_eff(self):
+        """Table 4: CoRa is competitive with the hand-optimized FT-Eff."""
+        model = CostModel(v100_gpu())
+        ratios = []
+        for ds in dataset_names():
+            lengths = sample_lengths(ds, 128)
+            fteff = model.latency_ms(encoder_layer_workload(lengths, "ft-eff"))
+            cora = model.latency_ms(encoder_layer_workload(lengths, "cora"))
+            ratios.append(cora / fteff)
+        assert 0.8 <= geomean(ratios) <= 1.25
+
+    def test_encoder_beats_plain_ft_on_long_datasets(self):
+        model = CostModel(v100_gpu())
+        for ds in ("RACE", "SQuAD", "MNLI"):
+            lengths = sample_lengths(ds, 128)
+            ft = model.latency_ms(encoder_layer_workload(lengths, "ft"))
+            cora = model.latency_ms(encoder_layer_workload(lengths, "cora"))
+            assert cora < ft
+
+    def test_mha_speedup_over_tensorflow_on_arm(self):
+        """Abstract: ~1.37x geomean speedup over TF-UB, ~1.5x over TF."""
+        model = CostModel(arm_cpu_64core())
+        vs_tf, vs_tfub = [], []
+        for ds in dataset_names():
+            for bs in (32, 64, 128):
+                lengths = sample_lengths(ds, bs)
+                cora = model.latency_ms(mha_workload(lengths, "cora"))
+                tf = model.latency_ms(mha_workload(lengths, "tf"))
+                tfub = microbatched_latency(
+                    lengths,
+                    lambda chunk: model.latency_ms(mha_workload(chunk, "tf")),
+                ).best_latency_ms
+                vs_tf.append(tf / cora)
+                vs_tfub.append(tfub / cora)
+        assert geomean(vs_tf) > 1.25
+        assert geomean(vs_tfub) > 1.05
+        assert geomean(vs_tf) >= geomean(vs_tfub)
+
+    def test_prelude_overhead_is_a_small_fraction(self):
+        """Section 7.4: prelude overheads are 0.7%-7% of the layer latency."""
+        model = CostModel(v100_gpu())
+        for ds, bs in (("CoLA", 32), ("RACE", 128)):
+            lengths = sample_lengths(ds, bs)
+            workload = encoder_layer_workload(lengths, "cora")
+            breakdown = model.evaluate(workload)
+            overhead = breakdown.copy_s + breakdown.prelude_s
+            assert overhead / breakdown.total_s < 0.12
+
+    def test_cora_prelude_much_cheaper_than_sparse_scheme(self):
+        """Tables 7-8: CoRa's storage aux data is orders of magnitude smaller."""
+        lengths = sample_lengths("RACE", 128)
+        batch, s1, heads, s2 = Dim("b"), Dim("s1"), Dim("h"), Dim("s2")
+        attention = RaggedLayout(
+            [batch, s1, heads, s2],
+            [ConstExtent(len(lengths)), VarExtent(batch, lengths),
+             ConstExtent(8), VarExtent(batch, lengths)],
+        )
+        cora = PreludeBuilder().build({"X": attention}, copy_to_device=False)
+        sparse = build_sparse_scheme_aux(attention)
+        assert sparse.memory_bytes > 100 * cora.storage_memory_bytes
+
+    def test_smaller_batches_less_opportunity(self):
+        """Figure 2 / Section 7.2: less padding waste at small batch sizes,
+        hence smaller CoRa gains."""
+        model = CostModel(v100_gpu())
+        lengths_small = sample_lengths("RACE", 2)
+        lengths_large = sample_lengths("RACE", 128)
+        gain_small = (model.latency_ms(encoder_layer_workload(lengths_small, "pytorch"))
+                      / model.latency_ms(encoder_layer_workload(lengths_small, "cora")))
+        gain_large = (model.latency_ms(encoder_layer_workload(lengths_large, "pytorch"))
+                      / model.latency_ms(encoder_layer_workload(lengths_large, "cora")))
+        assert gain_large > gain_small

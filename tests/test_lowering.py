@@ -1,0 +1,166 @@
+"""Tests for lowering schedules to the concrete loop-nest representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import Annotation, LoopKind
+from repro.core.lowering import BoundSpec, lower_schedule
+from repro.core.operator import compute, input_tensor
+from repro.core.schedule import Schedule
+
+
+def elementwise_op(lengths=(5, 2, 3)):
+    batch, seq = Dim("batch"), Dim("seq")
+    lens = np.asarray(lengths)
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lens)), VarExtent(batch, lens)],
+                 lambda o, i: 2.0 * A[o, i])
+    return op, batch, seq
+
+
+class TestPlainLowering:
+    def test_loop_kinds(self):
+        op, batch, seq = elementwise_op()
+        lowered = lower_schedule(Schedule(op))
+        assert lowered.loops[0].kind is LoopKind.CONSTANT
+        assert lowered.loops[1].kind is LoopKind.VARIABLE
+
+    def test_bound_table_registered(self):
+        op, batch, seq = elementwise_op()
+        lowered = lower_schedule(Schedule(op))
+        bound = lowered.loops[1].bound
+        assert not bound.is_const
+        assert list(lowered.aux_arrays[bound.table_name]) == [5, 2, 3]
+
+    def test_padded_bound_table(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 4)
+        sch.pad_dimension(seq, 4)
+        lowered = lower_schedule(sch)
+        assert list(lowered.aux_arrays[lowered.loops[1].bound.table_name]) == [8, 4, 4]
+
+    def test_tensor_plans(self):
+        op, batch, seq = elementwise_op()
+        lowered = lower_schedule(Schedule(op))
+        assert "A" in lowered.input_plans
+        assert lowered.input_plans["A"].is_ragged
+        assert lowered.output_plan.is_ragged
+
+    def test_dense_input_plan_has_constant_strides(self):
+        a, b = Dim("a"), Dim("b")
+        W = input_tensor("W", [a, b], [3, 4])
+        op = compute("Y", [a, b], [3, 4], lambda i, j: 1.0 * W[i, j])
+        lowered = lower_schedule(Schedule(op))
+        assert lowered.input_plans["W"].dense_strides == (4, 1)
+
+    def test_annotations_preserved(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.parallel(batch)
+        lowered = lower_schedule(sch)
+        assert lowered.loops[0].annotation is Annotation.PARALLEL
+
+
+class TestFusionLowering:
+    def test_fused_loop_bound_is_sum(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        lowered = lower_schedule(sch)
+        assert len(lowered.loops) == 1
+        assert lowered.loops[0].kind is LoopKind.FUSED
+        assert lowered.loops[0].bound.value == 10
+
+    def test_fusion_maps_registered(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        lowered = lower_schedule(sch)
+        fmap = lowered.loops[0].fusion.map_name
+        assert f"{fmap}_ffo" in lowered.aux_arrays
+        assert f"{fmap}_row" in lowered.aux_arrays
+        assert lowered.aux_arrays[f"{fmap}_ffo"].size == 10
+
+    def test_fused_with_loop_padding(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 2)
+        sch.pad_dimension(seq, 2)
+        sch.fuse_loops(batch, seq)
+        lowered = lower_schedule(sch)
+        # padded lengths 6, 2, 4 -> fused bound 12
+        assert lowered.loops[0].bound.value == 12
+
+    def test_dim_recovery_entries(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        lowered = lower_schedule(sch)
+        assert lowered.dim_recovery[batch][0] == "fused_outer"
+        assert lowered.dim_recovery[seq][0] == "fused_inner"
+
+    def test_output_dim_fusion_flag(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        sch.fuse_dimensions(batch, seq)
+        lowered = lower_schedule(sch)
+        assert lowered.output_dims_fused
+        assert not lowered.output_plan.is_ragged
+
+
+class TestSplitLowering:
+    def test_split_vloop_produces_guard(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.split(seq, 4)
+        lowered = lower_schedule(sch)
+        inner = lowered.loops[2]
+        assert inner.guard is not None
+        assert inner.guard.factor == 4
+
+    def test_split_with_matching_padding_elides_guard(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 4)
+        sch.pad_dimension(seq, 4)
+        sch.split(seq, 4)
+        lowered = lower_schedule(sch)
+        assert lowered.loops[2].guard is None
+
+    def test_split_tiles_table(self):
+        op, batch, seq = elementwise_op()
+        sch = Schedule(op)
+        sch.split(seq, 4)
+        lowered = lower_schedule(sch)
+        outer = lowered.loops[1]
+        assert not outer.bound.is_const
+        assert list(lowered.aux_arrays[outer.bound.table_name]) == [2, 1, 1]
+
+    def test_split_constant_loop(self):
+        a, b = Dim("a"), Dim("b")
+        W = input_tensor("W", [a, b], [2, 8])
+        op = compute("Y", [a, b], [2, 8], lambda i, j: 1.0 * W[i, j])
+        sch = Schedule(op)
+        sch.split(b, 4)
+        lowered = lower_schedule(sch)
+        assert lowered.loops[1].bound.value == 2
+        assert lowered.loops[2].bound.value == 4
+        assert lowered.loops[2].guard is None
+
+
+class TestRemapLowering:
+    def test_remap_permutation_sorted_by_work(self):
+        op, batch, seq = elementwise_op((2, 9, 4))
+        sch = Schedule(op)
+        sch.parallel(batch)
+        sch.thread_remap(batch, "sort_desc")
+        lowered = lower_schedule(sch)
+        perm = lowered.aux_arrays["remap_batch"]
+        assert list(perm) == [1, 2, 0]
+        assert lowered.loops[0].remap_name == "remap_batch"

@@ -1,0 +1,138 @@
+"""Tests for the Ragged API operator description."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.errors import LoweringError
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import LoopVar, Reduce
+from repro.core.operator import (
+    compute,
+    input_tensor,
+    max_reduce,
+    reduce_axis,
+    sum_reduce,
+)
+
+
+def figure1_operator(lengths=(5, 2, 3)):
+    batch, seq = Dim("batch"), Dim("seq")
+    lens = np.asarray(lengths)
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lens)), VarExtent(batch, lens)],
+                 lambda o, i: 2.0 * A[o, i])
+    return op, A, batch, seq
+
+
+class TestInputTensor:
+    def test_basic(self):
+        a, b = Dim("a"), Dim("b")
+        t = input_tensor("X", [a, b], [2, 3])
+        assert t.name == "X"
+        assert t.ndim == 2
+
+    def test_arity_checked(self):
+        with pytest.raises(LoweringError):
+            input_tensor("X", [Dim("a")], [2, 3])
+
+    def test_indexing_builds_access(self):
+        a, b = Dim("a"), Dim("b")
+        t = input_tensor("X", [a, b], [2, 3])
+        access = t[a, b]
+        assert access.tensor is t
+        assert len(access.indices) == 2
+
+    def test_indexing_wrong_arity(self):
+        a, b = Dim("a"), Dim("b")
+        t = input_tensor("X", [a, b], [2, 3])
+        with pytest.raises(LoweringError):
+            t[a]
+
+
+class TestCompute:
+    def test_figure1_structure(self):
+        op, A, batch, seq = figure1_operator()
+        assert op.name == "B"
+        assert op.ndim == 2
+        assert op.vloops() == [1]
+        assert not op.is_vloop(0)
+        assert [t.name for t in op.inputs] == ["A"]
+
+    def test_body_is_expression_tree(self):
+        op, *_ = figure1_operator()
+        from repro.core.ir import BinOp, tensor_reads
+
+        assert isinstance(op.body, BinOp)
+        assert len(tensor_reads(op.body)) == 1
+
+    def test_storage_extents_default_to_loop_extents(self):
+        op, *_ = figure1_operator()
+        assert op.storage_extents == op.loop_extents
+
+    def test_vloop_must_depend_on_outer_loop(self):
+        batch, seq, other = Dim("batch"), Dim("seq"), Dim("other")
+        with pytest.raises(LoweringError):
+            compute("B", [batch, seq],
+                    [ConstExtent(3), VarExtent(other, [1, 2, 3])],
+                    lambda o, i: o + i)
+
+    def test_vloop_cannot_depend_on_inner_loop(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        with pytest.raises(LoweringError):
+            compute("B", [seq, batch],
+                    [VarExtent(batch, [1, 2]), ConstExtent(2)],
+                    lambda i, o: o + i)
+
+    def test_dims_extents_mismatch(self):
+        with pytest.raises(LoweringError):
+            compute("B", [Dim("a")], [1, 2], lambda i: i)
+
+    def test_output_layout(self):
+        op, *_ = figure1_operator()
+        layout = op.output_layout()
+        assert layout.is_ragged
+        assert layout.total_size() == 10
+
+    def test_repr_marks_vloops(self):
+        op, *_ = figure1_operator()
+        assert ":v" in repr(op)
+
+
+class TestReductions:
+    def _matmul(self):
+        batch, seq, j, h = Dim("batch"), Dim("seq"), Dim("j"), Dim("h")
+        lens = np.array([3, 2])
+        A = input_tensor("A", [batch, seq, h],
+                         [ConstExtent(2), VarExtent(batch, lens), ConstExtent(4)])
+        W = input_tensor("W", [Dim("k_in"), j], [ConstExtent(4), ConstExtent(3)])
+        k = reduce_axis(4, "k")
+        op = compute(
+            "C", [batch, seq, j],
+            [ConstExtent(2), VarExtent(batch, lens), ConstExtent(3)],
+            lambda b, i, jj: sum_reduce(A[b, i, LoopVar(k.dim)] * W[LoopVar(k.dim), jj], k),
+        )
+        return op, k
+
+    def test_reduction_axes_discovered(self):
+        op, k = self._matmul()
+        axes = op.reduction_axes()
+        assert len(axes) == 1
+        assert axes[0].dim is k.dim
+
+    def test_sum_reduce_node(self):
+        red = sum_reduce(LoopVar(Dim("x")), reduce_axis(3))
+        assert isinstance(red, Reduce)
+        assert red.combiner == "sum"
+        assert red.init == 0.0
+
+    def test_max_reduce_node(self):
+        red = max_reduce(LoopVar(Dim("x")), reduce_axis(3))
+        assert red.combiner == "max"
+        assert red.init == -np.inf
+
+    def test_inputs_discovered(self):
+        op, _ = self._matmul()
+        assert sorted(t.name for t in op.inputs) == ["A", "W"]

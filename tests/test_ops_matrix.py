@@ -1,0 +1,170 @@
+"""Tests for the vgemm and triangular-matrix operator families."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import sparse_compiler as sc
+from repro.ops import trmm, vgemm
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import intel_cpu, v100_gpu
+
+
+class TestVgemmNumeric:
+    def setup_method(self):
+        self.problem = vgemm.VgemmProblem(
+            ms=np.array([8, 12, 4]), ns=np.array([6, 10, 4]), ks=np.array([5, 7, 3]))
+        self.a, self.b = vgemm.random_instances(self.problem, seed=1)
+
+    def test_cora_matches_reference(self):
+        ref = vgemm.vgemm_reference(self.a, self.b)
+        out = vgemm.vgemm_cora(self.a, self.b, tile=4)
+        for r, o in zip(ref, out):
+            assert np.allclose(r, o, atol=1e-4)
+
+    def test_fully_padded_matches_reference(self):
+        ref = vgemm.vgemm_reference(self.a, self.b)
+        out = vgemm.vgemm_fully_padded(self.a, self.b)
+        for r, o in zip(ref, out):
+            assert np.allclose(r, o, atol=1e-4)
+
+    def test_mismatched_inner_dim_rejected(self):
+        with pytest.raises(ValueError):
+            vgemm.vgemm_cora([np.zeros((2, 3))], [np.zeros((4, 2))])
+
+    def test_flop_accounting(self):
+        assert self.problem.ragged_flops() == pytest.approx(
+            sum(2 * m * n * k for m, n, k in
+                zip(self.problem.ms, self.problem.ns, self.problem.ks)))
+        assert self.problem.padded_flops() >= self.problem.ragged_flops()
+
+    def test_paper_problem_dimensions(self):
+        p = vgemm.paper_problem(64, seed=3)
+        for arr in (p.ms, p.ns, p.ks):
+            assert np.all(arr % 128 == 0)
+            assert arr.min() >= 512 and arr.max() <= 1408
+
+
+class TestVgemmWorkloads:
+    def test_padded_much_slower_at_large_batch(self):
+        model = CostModel(v100_gpu())
+        p = vgemm.paper_problem(128)
+        cora = model.latency_ms(vgemm.cora_workload(p))
+        padded = model.latency_ms(vgemm.fully_padded_workload(p))
+        assert padded > 1.5 * cora
+
+    def test_cora_competitive_with_hand_optimized(self):
+        for device in (v100_gpu(), intel_cpu()):
+            model = CostModel(device)
+            p = vgemm.paper_problem(64)
+            cora = model.latency_ms(vgemm.cora_workload(p))
+            hand = model.latency_ms(vgemm.hand_optimized_workload(p))
+            assert cora < 1.4 * hand  # "better than 73% of MKL" (Section 7.1)
+
+
+class TestTriangularNumeric:
+    def test_trmm_ragged_matches_reference(self):
+        lower = trmm.make_lower_triangular(48, seed=0)
+        dense = np.random.default_rng(1).standard_normal((48, 16)).astype(np.float32)
+        assert np.allclose(trmm.trmm_ragged(lower, dense, tile=16),
+                           trmm.trmm_reference(lower, dense), atol=1e-3)
+
+    def test_tradd_trmul(self):
+        a = trmm.make_lower_triangular(10, seed=0)
+        b = trmm.make_lower_triangular(10, seed=1)
+        assert np.allclose(trmm.tradd(a, b), np.tril(a + b))
+        assert np.allclose(trmm.trmul(a, b), np.tril(a * b))
+
+    def test_triangular_elements(self):
+        assert trmm.triangular_elements(4) == 10
+
+    def test_ragged_flops_less_than_dense(self):
+        assert trmm.trmm_ragged_flops(1024) < trmm.trmm_dense_flops(1024)
+        assert trmm.trmm_ragged_flops(1024, pad_reduction=True) >= \
+            trmm.trmm_ragged_flops(1024)
+
+
+class TestTrmmWorkloads:
+    def setup_method(self):
+        self.model = CostModel(v100_gpu())
+
+    def test_crossover_with_sgemm(self):
+        """trmm-style kernels only beat the dense sgemm for larger matrices
+        (Figure 10)."""
+        small_sgemm = self.model.latency_ms(trmm.cublas_sgemm_workload(512))
+        small_trmm = self.model.latency_ms(trmm.cublas_trmm_workload(512))
+        large_sgemm = self.model.latency_ms(trmm.cublas_sgemm_workload(8192))
+        large_trmm = self.model.latency_ms(trmm.cublas_trmm_workload(8192))
+        assert small_trmm > small_sgemm
+        assert large_trmm < large_sgemm
+
+    def test_split_and_balance_progressively_help(self):
+        n = 4096
+        uu = self.model.latency_ms(trmm.cora_trmm_workload(n, split=False, balanced=False))
+        su = self.model.latency_ms(trmm.cora_trmm_workload(n, split=True, balanced=False))
+        sb = self.model.latency_ms(trmm.cora_trmm_workload(n, split=True, balanced=True))
+        assert su < uu
+        assert sb <= su
+
+    def test_split_balanced_close_to_cublas_trmm(self):
+        """CoRa-Split-Balanced stays within ~75% of cuBLAS trmm (paper: 81.3%)."""
+        for n in (2048, 4096, 8192):
+            cublas = self.model.latency_ms(trmm.cublas_trmm_workload(n))
+            cora = self.model.latency_ms(trmm.cora_trmm_workload(n))
+            assert cublas / cora > 0.70
+
+
+class TestSparseCompilerBaseline:
+    def test_csr_roundtrip(self):
+        dense = trmm.make_lower_triangular(12, seed=0)
+        csr = sc.CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.to_dense(), dense)
+        assert csr.nnz == np.count_nonzero(dense)
+
+    def test_bcsr_roundtrip(self):
+        dense = trmm.make_lower_triangular(20, seed=0)
+        bcsr = sc.BCSRMatrix.from_dense(dense, block=8)
+        assert np.allclose(bcsr.to_dense(), dense)
+        assert bcsr.stored_elements >= np.count_nonzero(dense)
+
+    def test_csr_spmm_matches_dense(self):
+        lower = trmm.make_lower_triangular(16, seed=2)
+        dense = np.random.default_rng(3).standard_normal((16, 5)).astype(np.float32)
+        assert np.allclose(sc.csr_spmm(sc.CSRMatrix.from_dense(lower), dense),
+                           lower @ dense, atol=1e-3)
+
+    def test_bcsr_spmm_matches_dense(self):
+        lower = trmm.make_lower_triangular(24, seed=2)
+        dense = np.random.default_rng(3).standard_normal((24, 5)).astype(np.float32)
+        assert np.allclose(sc.bcsr_spmm(sc.BCSRMatrix.from_dense(lower, block=8), dense),
+                           lower @ dense, atol=1e-3)
+
+    def test_csr_elementwise(self):
+        a = trmm.make_lower_triangular(9, seed=4)
+        b = trmm.make_lower_triangular(9, seed=5)
+        ca, cb = sc.CSRMatrix.from_dense(a), sc.CSRMatrix.from_dense(b)
+        assert np.allclose(sc.csr_elementwise(ca, cb, "add"), np.tril(a + b), atol=1e-5)
+        assert np.allclose(sc.csr_elementwise(ca, cb, "mul"), np.tril(a * b), atol=1e-5)
+
+    def test_taco_slower_than_cora_and_growing(self):
+        """Table 6: Taco is slower than CoRa, with the gap growing with size."""
+        model = CostModel(v100_gpu())
+        slowdowns = []
+        for n in (512, 2048, 8192):
+            cora = model.latency_ms(trmm.cora_trmm_workload(n))
+            taco = model.latency_ms(sc.taco_trmm_workload(n, "csr"))
+            slowdowns.append(taco / cora)
+        assert slowdowns[0] > 1.0
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > 20.0
+
+    def test_taco_bcsr_tradd_unsupported(self):
+        with pytest.raises(ValueError):
+            sc.taco_elementwise_workload(512, "add", "bcsr")
+
+    def test_taco_elementwise_slowdowns(self):
+        model = CostModel(v100_gpu())
+        for n in (512, 2048):
+            cora = model.latency_ms(
+                trmm.cora_triangular_elementwise_workload(n, "add"))
+            taco = model.latency_ms(sc.taco_elementwise_workload(n, "add", "csr"))
+            assert taco > 2.0 * cora

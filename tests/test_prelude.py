@@ -1,0 +1,118 @@
+"""Tests for prelude generation (storage offsets, fusion maps, bulk padding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.prelude import (
+    PreludeBuilder,
+    build_fusion_maps,
+    build_row_offsets,
+    build_sparse_scheme_aux,
+    bulk_pad_lengths,
+)
+from repro.core.storage import RaggedLayout
+
+
+class TestRowOffsets:
+    def test_basic(self):
+        offsets = build_row_offsets([5, 2, 3])
+        assert list(offsets) == [0, 5, 7, 10]
+
+    def test_with_padding_matches_figure4(self):
+        # Figure 4: output rows padded to a multiple of 4 -> 0, 8, 12, 16
+        offsets = build_row_offsets([5, 2, 3], pad=4)
+        assert list(offsets) == [0, 8, 12, 16]
+
+    def test_inner_factor(self):
+        offsets = build_row_offsets([2, 3], inner_factor=4)
+        assert list(offsets) == [0, 8, 20]
+
+
+class TestFusionMaps:
+    def test_figure4_example(self):
+        # Lengths [5, 2, 3] with loop padding 2 -> padded [6, 2, 4]
+        maps = build_fusion_maps([5, 2, 3], pad=2)
+        assert maps.fused_extent == 12
+        assert list(maps.foif_row) == [0, 6, 8]
+        assert maps.ffo[0] == 0 and maps.ffo[6] == 1 and maps.ffo[8] == 2
+        assert maps.ffi[7] == 1
+
+    def test_inverse_axioms(self):
+        maps = build_fusion_maps([4, 1, 0, 3])
+        assert maps.check_inverses()
+
+    def test_foif(self):
+        maps = build_fusion_maps([3, 2])
+        assert maps.foif(1, 1) == 4
+        assert maps.ffo[maps.foif(1, 1)] == 1
+        assert maps.ffi[maps.foif(1, 1)] == 1
+
+    def test_zero_length_rows(self):
+        maps = build_fusion_maps([0, 3, 0, 2])
+        assert maps.fused_extent == 5
+        assert maps.check_inverses()
+
+    def test_memory_accounting(self):
+        maps = build_fusion_maps([5, 5, 5])
+        assert maps.memory_bytes == maps.ffo.nbytes + maps.ffi.nbytes + maps.foif_row.nbytes
+
+
+class TestBulkPadding:
+    def test_no_padding_needed(self):
+        lens, extra = bulk_pad_lengths([32, 32], 64)
+        assert extra == 0
+        assert list(lens) == [32, 32]
+
+    def test_padding_sequence_appended(self):
+        lens, extra = bulk_pad_lengths([30, 30], 64)
+        assert extra == 4
+        assert list(lens) == [30, 30, 4]
+        assert int(lens.sum()) % 64 == 0
+
+    def test_relative_padding_small_for_large_batches(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(50, 500, size=128)
+        padded, extra = bulk_pad_lengths(lengths, 64)
+        assert extra / lengths.sum() < 0.01
+
+
+class TestPreludeBuilder:
+    def _layouts(self, lengths):
+        batch, seq = Dim("batch"), Dim("seq")
+        return {
+            "A": RaggedLayout([batch, seq],
+                              [ConstExtent(len(lengths)), VarExtent(batch, lengths)]),
+        }
+
+    def test_builds_storage_and_fusion(self):
+        lengths = [5, 2, 3]
+        result = PreludeBuilder().build(self._layouts(lengths),
+                                        fused_loops={"tokens": (lengths, 1)})
+        assert "A" in result.storage_aux
+        assert list(result.storage_aux["A"]) == [0, 5, 7, 10]
+        assert result.fusion_maps["tokens"].fused_extent == 10
+        assert result.total_memory_bytes > 0
+        assert result.total_time_s >= 0
+
+    def test_copy_time_only_for_device(self):
+        lengths = [5, 2, 3]
+        with_copy = PreludeBuilder().build(self._layouts(lengths), copy_to_device=True)
+        without = PreludeBuilder().build(self._layouts(lengths), copy_to_device=False)
+        assert with_copy.copy_time_s > 0
+        assert without.copy_time_s == 0
+
+    def test_cora_storage_cheaper_than_sparse_scheme(self):
+        """The core claim of Section 7.4 / Tables 7-8."""
+        lengths = np.random.default_rng(0).integers(80, 512, size=128)
+        batch, s1, heads, s2 = Dim("b"), Dim("s1"), Dim("h"), Dim("s2")
+        attention = RaggedLayout(
+            [batch, s1, heads, s2],
+            [ConstExtent(len(lengths)), VarExtent(batch, lengths),
+             ConstExtent(8), VarExtent(batch, lengths)],
+        )
+        cora = PreludeBuilder().build({"X": attention}, copy_to_device=False)
+        sparse = build_sparse_scheme_aux(attention)
+        assert sparse.memory_bytes > 50 * cora.storage_memory_bytes
+        assert sparse.entries > cora.storage_aux["X"].size

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on the core data-structure invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import check_fusion_axioms
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent, ceil_to
+from repro.core.executor import Executor
+from repro.core.operator import compute, input_tensor
+from repro.core.prelude import build_fusion_maps, build_row_offsets, bulk_pad_lengths
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.schedule import Schedule
+from repro.core.storage import RaggedLayout
+
+lengths_strategy = st.lists(st.integers(min_value=0, max_value=12),
+                            min_size=1, max_size=8)
+positive_lengths = st.lists(st.integers(min_value=1, max_value=10),
+                            min_size=1, max_size=6)
+pad_strategy = st.integers(min_value=1, max_value=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lengths_strategy, pad_strategy)
+def test_row_offsets_monotone_and_padded(lengths, pad):
+    offsets = build_row_offsets(lengths, pad=pad)
+    assert offsets[0] == 0
+    diffs = np.diff(offsets)
+    assert np.all(diffs >= np.asarray(lengths))
+    assert np.all(diffs % pad == 0)
+    assert np.all(diffs >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lengths_strategy)
+def test_fusion_map_axioms(lengths):
+    maps = build_fusion_maps(lengths)
+    assert maps.fused_extent == sum(lengths)
+    assert check_fusion_axioms(maps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lengths_strategy, st.integers(min_value=1, max_value=128))
+def test_bulk_padding_invariants(lengths, multiple):
+    padded, extra = bulk_pad_lengths(lengths, multiple)
+    assert int(padded.sum()) % multiple == 0
+    assert int(padded.sum()) - sum(lengths) == extra
+    assert 0 <= extra < multiple
+
+
+@settings(max_examples=40, deadline=None)
+@given(positive_lengths, pad_strategy)
+def test_storage_offsets_are_bijection(lengths, pad):
+    """Every valid (storage) index maps to a distinct flat offset in range."""
+    batch, seq = Dim("batch"), Dim("seq")
+    layout = RaggedLayout.ragged_2d(batch, seq, len(lengths), lengths, pad=pad)
+    seen = set()
+    for b in range(len(lengths)):
+        width = int(ceil_to(lengths[b], pad))
+        for i in range(width):
+            off = layout.offset((b, i))
+            assert 0 <= off < layout.total_size()
+            seen.add(off)
+    assert len(seen) == layout.total_size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(positive_lengths)
+def test_dense_roundtrip_preserves_valid_region(lengths):
+    batch, seq = Dim("batch"), Dim("seq")
+    layout = RaggedLayout.ragged_2d(batch, seq, len(lengths), lengths)
+    tensor = RaggedTensor.random(layout, seed=0)
+    dense = tensor.to_dense()
+    back = RaggedTensor.from_dense(layout, dense)
+    assert tensor.allclose(back)
+
+
+@settings(max_examples=25, deadline=None)
+@given(positive_lengths, st.floats(min_value=-3, max_value=3,
+                                   allow_nan=False, allow_infinity=False))
+def test_generated_elementwise_kernel_matches_numpy(lengths, alpha):
+    """The compiled kernel agrees with NumPy on the valid region for any
+    raggedness pattern and scale factor."""
+    lens = np.asarray(lengths)
+    batch, seq = Dim("batch"), Dim("seq")
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lens)), VarExtent(batch, lens)],
+                 lambda o, i: float(alpha) * A[o, i])
+    layout = RaggedLayout([batch, seq],
+                          [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    data = RaggedTensor.random(layout, seed=3)
+    out, _ = Executor().build_and_run(Schedule(op), {"A": data})
+    for b in range(len(lens)):
+        assert np.allclose(out.valid_slice(b), np.float32(alpha) * data.valid_slice(b),
+                           rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(positive_lengths)
+def test_fused_kernel_matches_unfused(lengths):
+    """Loop fusion is a pure scheduling decision: results are identical."""
+    lens = np.asarray(lengths)
+    batch, seq = Dim("batch"), Dim("seq")
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lens)), VarExtent(batch, lens)],
+                 lambda o, i: A[o, i] + 1.0)
+    layout = RaggedLayout([batch, seq],
+                          [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    data = RaggedTensor.random(layout, seed=11)
+    plain, _ = Executor().build_and_run(Schedule(op), {"A": data})
+    sch = Schedule(op)
+    sch.fuse_loops(batch, seq)
+    fused, _ = Executor().build_and_run(sch, {"A": data})
+    assert plain.allclose(fused)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=512))
+def test_ceil_to_properties(value, multiple):
+    out = ceil_to(value, multiple)
+    assert out >= value
+    assert out % multiple == 0
+    assert out - value < multiple

@@ -1,0 +1,117 @@
+"""Tests for the RaggedTensor runtime object."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.ragged_tensor import RaggedTensor, ragged_from_lengths
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.storage import RaggedLayout
+
+
+def layout_2d(lengths, pad=1):
+    batch, seq = Dim("batch"), Dim("seq")
+    return RaggedLayout.ragged_2d(batch, seq, len(lengths), lengths, pad=pad)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        t = RaggedTensor.zeros(layout_2d([3, 1, 2]))
+        assert t.nnz == 6
+        assert float(np.abs(t.data).sum()) == 0.0
+
+    def test_buffer_size_checked(self):
+        with pytest.raises(StorageError):
+            RaggedTensor(layout_2d([3, 1]), np.zeros(3, dtype=np.float32))
+
+    def test_from_slices_and_back(self):
+        lengths = [3, 1, 2]
+        slices = [np.arange(n, dtype=np.float32) for n in lengths]
+        t = RaggedTensor.from_slices(layout_2d(lengths), slices)
+        for b, expected in enumerate(slices):
+            assert np.array_equal(t.valid_slice(b), expected)
+
+    def test_from_slices_wrong_count(self):
+        with pytest.raises(StorageError):
+            RaggedTensor.from_slices(layout_2d([3, 1]), [np.zeros(3)])
+
+    def test_from_dense_roundtrip(self):
+        lengths = [3, 1, 2]
+        dense = np.arange(9, dtype=np.float32).reshape(3, 3)
+        t = RaggedTensor.from_dense(layout_2d(lengths), dense)
+        back = t.to_dense(fill=0.0)
+        for b, n in enumerate(lengths):
+            assert np.array_equal(back[b, :n], dense[b, :n])
+            assert np.all(back[b, n:] == 0.0)
+
+    def test_random_reproducible(self):
+        a = RaggedTensor.random(layout_2d([3, 2]), seed=7)
+        b = RaggedTensor.random(layout_2d([3, 2]), seed=7)
+        assert np.array_equal(a.data, b.data)
+
+    def test_ragged_from_lengths_helper(self):
+        t = ragged_from_lengths([3, 1, 2], inner_shape=(4,), pad=2, seed=1)
+        assert t.valid_slice(0).shape == (3, 4)
+        assert t.storage_slice_shape(1) == (2, 4)
+
+
+class TestAccess:
+    def test_getitem_setitem(self):
+        t = RaggedTensor.zeros(layout_2d([3, 1, 2]))
+        t[(1, 0)] = 5.0
+        assert t[(1, 0)] == 5.0
+        assert t[(0, 0)] == 0.0
+
+    def test_slice_view_is_writable(self):
+        t = RaggedTensor.zeros(layout_2d([3, 1, 2]))
+        t.slice_view(0)[...] = 2.0
+        assert t[(0, 2)] == 2.0
+
+    def test_valid_vs_storage_shape_with_padding(self):
+        t = RaggedTensor.zeros(layout_2d([3, 1, 2], pad=4))
+        assert t.valid_slice_shape(1) == (1,)
+        assert t.storage_slice_shape(1) == (4,)
+
+    def test_set_slice_shape_checked(self):
+        t = RaggedTensor.zeros(layout_2d([3, 1]))
+        with pytest.raises(StorageError):
+            t.set_slice(0, np.zeros(2, dtype=np.float32))
+
+    def test_iter_slices(self):
+        lengths = [3, 1, 2]
+        t = RaggedTensor.random(layout_2d(lengths), seed=0)
+        sizes = [v.shape[0] for _, v in t.iter_slices()]
+        assert sizes == lengths
+
+
+class TestComparison:
+    def test_allclose_against_dense(self):
+        lengths = [3, 2]
+        dense = np.random.default_rng(0).standard_normal((2, 3)).astype(np.float32)
+        t = RaggedTensor.from_dense(layout_2d(lengths), dense)
+        assert t.allclose(dense)
+
+    def test_allclose_ignores_padding_garbage(self):
+        lengths = [3, 2]
+        t = RaggedTensor.random(layout_2d(lengths, pad=4), seed=0)
+        other = RaggedTensor.random(layout_2d(lengths, pad=1), seed=1)
+        for b, v in t.iter_slices():
+            other.valid_slice(b)[...] = v
+        # storage padding differs and contains different garbage, but the
+        # valid regions match.
+        assert t.allclose(other)
+
+    def test_allclose_detects_difference(self):
+        lengths = [3, 2]
+        a = RaggedTensor.random(layout_2d(lengths), seed=0)
+        b = a.copy()
+        b[(0, 0)] = b[(0, 0)] + 1.0
+        assert not a.allclose(b)
+
+    def test_max_abs_diff(self):
+        lengths = [2, 2]
+        a = RaggedTensor.zeros(layout_2d(lengths))
+        b = a.copy()
+        b[(1, 1)] = 3.0
+        assert a.max_abs_diff(b) == pytest.approx(3.0)

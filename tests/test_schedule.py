@@ -1,0 +1,222 @@
+"""Tests for the scheduling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim, FusedDim
+from repro.core.errors import ScheduleError
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import Annotation
+from repro.core.operator import compute, input_tensor
+from repro.core.schedule import (
+    RemapInfo,
+    Schedule,
+    horizontal_fuse,
+    operation_split,
+)
+
+
+def make_op(lengths=(5, 2, 3)):
+    batch, seq = Dim("batch"), Dim("seq")
+    lens = np.asarray(lengths)
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lens)), VarExtent(batch, lens)],
+                 lambda o, i: 2.0 * A[o, i])
+    return op, batch, seq
+
+
+class TestPadding:
+    def test_pad_loop_records_lcm(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 2).pad_loop(seq, 3)
+        assert sch.loop_padding[seq] == 6
+
+    def test_pad_dimension_records(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.pad_dimension(seq, 4)
+        assert sch.storage_padding[seq] == 4
+
+    def test_storage_padding_must_cover_loop_padding(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 8)
+        sch.pad_dimension(seq, 2)
+        with pytest.raises(ScheduleError):
+            sch.validate()
+
+    def test_valid_padding_combination(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.pad_loop(seq, 2)
+        sch.pad_dimension(seq, 4)
+        sch.validate()  # does not raise
+
+    def test_pad_unknown_loop(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        with pytest.raises(ScheduleError):
+            sch.pad_loop(Dim("other"), 2)
+
+    def test_pad_nonpositive(self):
+        op, batch, seq = make_op()
+        with pytest.raises(ScheduleError):
+            Schedule(op).pad_loop(seq, 0)
+
+    def test_pad_input_dimension(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.pad_input_dimension("A", seq, 2)
+        assert sch.input_storage_padding["A"][seq] == 2
+
+
+class TestFusion:
+    def test_fuse_loops_replaces_pair(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        fused = sch.fuse_loops(batch, seq)
+        assert isinstance(fused, FusedDim)
+        assert sch.loop_order == [fused]
+
+    def test_fuse_non_adjacent_rejected(self):
+        batch, seq, h = Dim("b"), Dim("s"), Dim("h")
+        lens = np.array([2, 3])
+        A = input_tensor("A", [batch, seq, h],
+                         [ConstExtent(2), VarExtent(batch, lens), ConstExtent(4)])
+        op = compute("B", [batch, seq, h],
+                     [ConstExtent(2), VarExtent(batch, lens), ConstExtent(4)],
+                     lambda b, s, k: A[b, s, k])
+        sch = Schedule(op)
+        with pytest.raises(ScheduleError):
+            sch.fuse_loops(batch, h)
+
+    def test_fuse_dimensions_requires_adjacency(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.fuse_dimensions(batch, seq)
+        assert sch.dim_fusions == [(batch, seq)]
+        with pytest.raises(ScheduleError):
+            sch.fuse_dimensions(seq, batch)
+
+
+class TestSplitReorder:
+    def test_split_creates_two_loops(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        outer, inner = sch.split(seq, 4)
+        assert sch.loop_order == [batch, outer, inner]
+
+    def test_split_invalid_factor(self):
+        op, batch, seq = make_op()
+        with pytest.raises(ScheduleError):
+            Schedule(op).split(seq, 0)
+
+    def test_reorder_valid_permutation_required(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        with pytest.raises(ScheduleError):
+            sch.reorder(batch)
+
+    def test_reorder_vloop_above_governing_rejected(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        with pytest.raises(ScheduleError):
+            sch.reorder(seq, batch)
+
+    def test_reorder_split_loops(self):
+        """A split cloop may be reordered freely inside the governing loop."""
+        batch, seq, h = Dim("b"), Dim("s"), Dim("h")
+        lens = np.array([4, 2])
+        A = input_tensor("A", [batch, seq, h],
+                         [ConstExtent(2), VarExtent(batch, lens), ConstExtent(8)])
+        op = compute("C", [batch, seq, h],
+                     [ConstExtent(2), VarExtent(batch, lens), ConstExtent(8)],
+                     lambda b, s, k: A[b, s, k])
+        sch = Schedule(op)
+        ho, hi = sch.split(h, 4)
+        sch.reorder(batch, ho, seq, hi)
+        assert [d.name for d in sch.loop_order] == ["b", "h.o", "s", "h.i"]
+
+
+class TestAnnotations:
+    def test_parallel_vectorize_unroll(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.parallel(batch).vectorize(seq)
+        assert sch.annotations[batch] is Annotation.PARALLEL
+        assert sch.annotations[seq] is Annotation.VECTORIZE
+
+    def test_bind_thread_axes(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.bind(batch, "blockIdx")
+        assert sch.annotations[batch] is Annotation.BIND_BLOCK
+        with pytest.raises(ScheduleError):
+            sch.bind(seq, "warpIdx")
+
+
+class TestThreadRemap:
+    def test_sort_desc_policy(self):
+        remap = RemapInfo(dim=Dim("x"), policy="sort_desc")
+        perm = remap.permutation(np.array([1.0, 5.0, 3.0]))
+        assert list(perm) == [1, 2, 0]
+
+    def test_identity_policy(self):
+        remap = RemapInfo(dim=Dim("x"), policy="identity")
+        assert list(remap.permutation(np.array([1.0, 2.0]))) == [0, 1]
+
+    def test_callable_policy(self):
+        remap = RemapInfo(dim=Dim("x"), policy=lambda w: np.argsort(w))
+        assert list(remap.permutation(np.array([3.0, 1.0, 2.0]))) == [1, 2, 0]
+
+    def test_invalid_policy_name(self):
+        remap = RemapInfo(dim=Dim("x"), policy="bogus")
+        with pytest.raises(ScheduleError):
+            remap.permutation(np.array([1.0]))
+
+    def test_non_permutation_rejected(self):
+        remap = RemapInfo(dim=Dim("x"), policy=lambda w: np.zeros_like(w, dtype=int))
+        with pytest.raises(ScheduleError):
+            remap.permutation(np.array([1.0, 2.0]))
+
+    def test_schedule_records_remap(self):
+        op, batch, seq = make_op()
+        sch = Schedule(op)
+        sch.thread_remap(batch, "sort_desc")
+        assert sch.remaps[0].dim is batch
+
+
+class TestOperationSplitAndHFusion:
+    def test_operation_split_ranges(self):
+        op, batch, seq = make_op((10, 3, 6))
+        main, tail = operation_split(op, seq, split_point=lambda o: 4)
+        assert main.range_fn(0) == (0, 4)
+        assert tail.range_fn(0) == (4, 10)
+        # A sequence shorter than the split point puts everything in main.
+        assert main.range_fn(1) == (0, 3)
+        assert tail.range_fn(1) == (3, 3)
+
+    def test_operation_split_constant_point(self):
+        op, batch, seq = make_op((10, 3, 6))
+        main, tail = operation_split(op, seq, 8)
+        assert main.range_fn(2) == (0, 6)
+
+    def test_split_unknown_dim(self):
+        op, batch, seq = make_op()
+        with pytest.raises(ScheduleError):
+            operation_split(op, Dim("other"), 4)
+
+    def test_horizontal_fuse(self):
+        op, batch, seq = make_op((10, 3, 6))
+        main, tail = operation_split(op, seq, 4)
+        group = horizontal_fuse(main, tail)
+        assert len(group.members) == 2
+
+    def test_horizontal_fuse_needs_two(self):
+        op, batch, seq = make_op()
+        main, _ = operation_split(op, seq, 4)
+        with pytest.raises(ScheduleError):
+            horizontal_fuse(main)

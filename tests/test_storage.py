@@ -1,0 +1,188 @@
+"""Tests for ragged storage layouts and O(1) access lowering."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim, FusedDim
+from repro.core.errors import StorageError
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.storage import RaggedLayout
+
+
+def ragged_2d(lengths, pad=1):
+    batch, seq = Dim("batch"), Dim("seq")
+    return RaggedLayout.ragged_2d(batch, seq, len(lengths), lengths, pad=pad)
+
+
+def ragged_3d(lengths, hidden=4, pad=1):
+    batch, seq, h = Dim("batch"), Dim("seq"), Dim("h")
+    padding = {seq: pad} if pad > 1 else None
+    return RaggedLayout(
+        [batch, seq, h],
+        [ConstExtent(len(lengths)), VarExtent(batch, lengths), ConstExtent(hidden)],
+        storage_padding=padding,
+    )
+
+
+def attention_4d(lengths, heads=2):
+    batch, s1, hd, s2 = Dim("batch"), Dim("s1"), Dim("heads"), Dim("s2")
+    return RaggedLayout(
+        [batch, s1, hd, s2],
+        [ConstExtent(len(lengths)), VarExtent(batch, lengths),
+         ConstExtent(heads), VarExtent(batch, lengths)],
+    )
+
+
+class TestConstruction:
+    def test_dense_layout_not_ragged(self):
+        layout = RaggedLayout.dense([Dim("a"), Dim("b")], [3, 4])
+        assert not layout.is_ragged
+        assert layout.total_size() == 12
+        assert layout.dense_shape() == (3, 4)
+
+    def test_ragged_2d(self):
+        layout = ragged_2d([5, 2, 3])
+        assert layout.is_ragged
+        assert layout.total_size() == 10
+        assert layout.dense_shape() == (3, 5)
+
+    def test_mismatched_lengths_rejected(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        with pytest.raises(StorageError):
+            RaggedLayout.ragged_2d(batch, seq, 3, [5, 2])
+
+    def test_extent_count_mismatch(self):
+        with pytest.raises(StorageError):
+            RaggedLayout([Dim("a")], [ConstExtent(1), ConstExtent(2)])
+
+    def test_padding_unknown_dim_rejected(self):
+        with pytest.raises(StorageError):
+            RaggedLayout([Dim("a")], [4], storage_padding={Dim("b"): 2})
+
+    def test_vdim_governed_by_non_outermost_rejected(self):
+        a, b, c = Dim("a"), Dim("b"), Dim("c")
+        with pytest.raises(StorageError):
+            RaggedLayout([a, b, c],
+                         [ConstExtent(2), ConstExtent(3), VarExtent(b, [1, 2, 3])])
+
+
+class TestSizesAndPadding:
+    def test_storage_padding_rounds_slices(self):
+        layout = ragged_2d([5, 2, 3], pad=4)
+        # padded lengths 8, 4, 4
+        assert layout.total_size() == 16
+
+    def test_padding_fraction(self):
+        layout = ragged_2d([5, 2, 3], pad=4)
+        assert layout.padding_fraction() == pytest.approx(1 - 10 / 16)
+
+    def test_fully_padded_layout(self):
+        layout = ragged_2d([5, 2, 3])
+        dense = layout.fully_padded()
+        assert not dense.is_ragged
+        assert dense.total_size() == 15
+
+    def test_with_padding_merges_lcm(self):
+        layout = ragged_2d([5, 2, 3], pad=2)
+        seq = layout.dims[1]
+        padded = layout.with_padding({seq: 3})
+        assert padded.storage_pad_of(1) == 6
+
+    def test_slice_shape_3d(self):
+        layout = ragged_3d([5, 2], hidden=4)
+        assert layout.slice_shape(0) == (5, 4)
+        assert layout.slice_shape(1) == (2, 4)
+
+    def test_4d_attention_total(self):
+        lengths = [3, 2]
+        layout = attention_4d(lengths, heads=2)
+        assert layout.total_size() == 2 * (3 * 3) + 2 * (2 * 2)
+
+
+class TestOffsets:
+    def test_2d_offsets_match_manual(self):
+        layout = ragged_2d([5, 2, 3])
+        assert layout.offset((0, 0)) == 0
+        assert layout.offset((0, 4)) == 4
+        assert layout.offset((1, 0)) == 5
+        assert layout.offset((2, 2)) == 9
+
+    def test_offsets_are_a_bijection(self):
+        lengths = [5, 2, 3]
+        layout = ragged_2d(lengths)
+        seen = set()
+        for b, n in enumerate(lengths):
+            for i in range(n):
+                seen.add(layout.offset((b, i)))
+        assert seen == set(range(layout.total_size()))
+
+    def test_4d_offsets_are_a_bijection(self):
+        lengths = [2, 3, 1]
+        layout = attention_4d(lengths, heads=2)
+        seen = set()
+        for b, n in enumerate(lengths):
+            for i in range(n):
+                for h in range(2):
+                    for j in range(n):
+                        seen.add(layout.offset((b, i, h, j)))
+        assert seen == set(range(layout.total_size()))
+        assert len(seen) == layout.total_size()
+
+    def test_vectorised_offsets_match_scalar(self):
+        lengths = [4, 1, 3]
+        layout = ragged_3d(lengths, hidden=2)
+        idx = []
+        for b, n in enumerate(lengths):
+            for i in range(n):
+                for h in range(2):
+                    idx.append((b, i, h))
+        idx = np.array(idx).T
+        vec = layout.offsets([idx[0], idx[1], idx[2]])
+        scalar = [layout.offset(tuple(col)) for col in np.array(idx).T]
+        assert list(vec) == scalar
+
+    def test_out_of_range_raises(self):
+        layout = ragged_2d([5, 2, 3])
+        with pytest.raises(StorageError):
+            layout.offset((0, 5))
+        with pytest.raises(StorageError):
+            layout.offset((3, 0))
+        with pytest.raises(StorageError):
+            layout.offset((0,))
+
+    def test_padded_region_is_addressable(self):
+        layout = ragged_2d([5, 2, 3], pad=4)
+        # length 2 padded to 4: index 3 is valid storage.
+        assert layout.offset((1, 3)) == layout.offset((1, 0)) + 3
+
+    def test_slice_bounds(self):
+        layout = ragged_2d([5, 2, 3])
+        assert layout.slice_bounds(0) == (0, 5)
+        assert layout.slice_bounds(2) == (7, 10)
+
+    def test_offset_constant_time_data(self):
+        """The aux data is a single (M+1)-entry array regardless of lengths."""
+        layout = attention_4d([10, 20, 30], heads=4)
+        aux = layout.build_aux()
+        assert aux.row_offsets.size == 4
+
+
+class TestDimFusion:
+    def test_fuse_batch_and_seq(self):
+        layout = ragged_2d([5, 2, 3])
+        batch, seq = layout.dims
+        fused = layout.fuse_dims(batch, seq)
+        assert isinstance(fused.dims[0], FusedDim)
+        assert fused.total_size() == 10
+        assert not fused.is_ragged
+
+    def test_fuse_3d_keeps_inner_dim(self):
+        layout = ragged_3d([5, 2], hidden=4)
+        fused = layout.fuse_dims(layout.dims[0], layout.dims[1])
+        assert fused.total_size() == 7 * 4
+        assert fused.ndim == 2
+
+    def test_fuse_non_adjacent_rejected(self):
+        layout = ragged_3d([5, 2], hidden=4)
+        with pytest.raises(StorageError):
+            layout.fuse_dims(layout.dims[0], layout.dims[2])

@@ -1,0 +1,160 @@
+"""Tests for the transformer encoder layer (numeric + workload builders)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ft import ft_eff_workload, ft_workload, kernel_count
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+from repro.models.transformer import (
+    EncoderWeights,
+    encoder_layer_workload,
+    encoder_operator_breakdown,
+    mha_workload,
+    run_encoder_layer_dense_reference,
+    run_encoder_layer_numeric,
+)
+from repro.substrates.costmodel import CostModel
+from repro.substrates.device import arm_cpu_64core, v100_gpu
+
+SMALL = TransformerConfig(hidden_size=16, num_heads=2, head_size=8, ff_size=32,
+                          num_layers=2, loop_pad=4, bulk_pad=8, attention_tile=8)
+LENGTHS = [7, 3, 5]
+
+
+class TestConfig:
+    def test_paper_config(self):
+        cfg = PAPER_BASE_CONFIG
+        assert cfg.hidden_size == 512
+        assert cfg.num_heads == 8
+        assert cfg.ff_size == 2048
+        assert cfg.qkv_size == 1536
+
+    def test_invalid_head_split_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(hidden_size=512, num_heads=7, head_size=64)
+
+
+class TestNumericForward:
+    def _inputs(self, masked=False):
+        rng = np.random.default_rng(0)
+        hidden = [rng.standard_normal((n, SMALL.hidden_size)).astype(np.float32)
+                  for n in LENGTHS]
+        weights = EncoderWeights.random(SMALL, seed=1)
+        return hidden, weights
+
+    def test_ragged_matches_dense_reference(self):
+        hidden, weights = self._inputs()
+        ragged = run_encoder_layer_numeric(hidden, weights, SMALL)
+        max_len = max(LENGTHS)
+        dense_in = np.zeros((len(LENGTHS), max_len, SMALL.hidden_size), np.float32)
+        for b, h in enumerate(hidden):
+            dense_in[b, :h.shape[0]] = h
+        dense = run_encoder_layer_dense_reference(dense_in, LENGTHS, weights, SMALL)
+        for b, n in enumerate(LENGTHS):
+            assert np.allclose(ragged.hidden[b], dense[b, :n], atol=1e-3)
+
+    def test_masked_forward_differs_from_unmasked(self):
+        hidden, weights = self._inputs()
+        plain = run_encoder_layer_numeric(hidden, weights, SMALL, masked=False)
+        masked = run_encoder_layer_numeric(hidden, weights, SMALL, masked=True)
+        assert not np.allclose(plain.hidden[0], masked.hidden[0], atol=1e-3)
+
+    def test_masked_matches_dense_reference(self):
+        hidden, weights = self._inputs()
+        ragged = run_encoder_layer_numeric(hidden, weights, SMALL, masked=True)
+        max_len = max(LENGTHS)
+        dense_in = np.zeros((len(LENGTHS), max_len, SMALL.hidden_size), np.float32)
+        for b, h in enumerate(hidden):
+            dense_in[b, :h.shape[0]] = h
+        dense = run_encoder_layer_dense_reference(dense_in, LENGTHS, weights, SMALL,
+                                                  masked=True)
+        for b, n in enumerate(LENGTHS):
+            assert np.allclose(ragged.hidden[b], dense[b, :n], atol=1e-3)
+
+    def test_output_shapes_preserved(self):
+        hidden, weights = self._inputs()
+        out = run_encoder_layer_numeric(hidden, weights, SMALL)
+        assert [h.shape for h in out.hidden] == [(n, SMALL.hidden_size) for n in LENGTHS]
+        dense = out.as_dense(max(LENGTHS))
+        assert dense.shape == (len(LENGTHS), max(LENGTHS), SMALL.hidden_size)
+
+
+class TestWorkloadStructure:
+    def test_cora_has_nine_kernels(self):
+        wl = encoder_layer_workload(np.array([100, 80, 60]), "cora")
+        assert len(wl.kernels) == 9
+
+    def test_ft_has_twelve_kernels(self):
+        lengths = np.array([100, 80, 60])
+        assert kernel_count(ft_workload(lengths)) == 12
+        assert kernel_count(ft_eff_workload(lengths)) == 12
+
+    def test_cora_prelude_amortised_over_layers(self):
+        lengths = np.array([100, 80, 60])
+        one = encoder_layer_workload(lengths, "cora", num_layers=1)
+        six = encoder_layer_workload(lengths, "cora", num_layers=6)
+        assert six.prelude_time_s < one.prelude_time_s or one.prelude_time_s == 0
+        assert six.h2d_bytes == pytest.approx(one.h2d_bytes / 6)
+
+    def test_unfused_pad_change_adds_kernels(self):
+        lengths = np.array([100, 80, 60])
+        fused = encoder_layer_workload(lengths, "cora", fuse_pad_change=True)
+        unfused = encoder_layer_workload(lengths, "cora", fuse_pad_change=False)
+        assert len(unfused.kernels) > len(fused.kernels)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            encoder_layer_workload([10], "bogus")
+        with pytest.raises(ValueError):
+            mha_workload([10], "bogus")
+
+    def test_ft_eff_less_flops_than_ft(self):
+        lengths = np.random.default_rng(0).integers(40, 512, size=32)
+        assert ft_eff_workload(lengths).total_flops() < ft_workload(lengths).total_flops()
+
+    def test_cora_flops_least(self):
+        lengths = np.random.default_rng(0).integers(40, 512, size=32)
+        cora = encoder_layer_workload(lengths, "cora").total_flops()
+        fteff = ft_eff_workload(lengths).total_flops()
+        ft = ft_workload(lengths).total_flops()
+        assert cora < ft
+        # CoRa only pays small partial padding over FT-Eff's SDPA-only padding.
+        assert cora < 1.1 * fteff
+
+
+class TestBreakdown:
+    def test_groups_cover_known_kernels(self):
+        lengths = np.array([100, 80, 60])
+        model = CostModel(v100_gpu())
+        breakdown = model.evaluate(encoder_layer_workload(lengths, "ft-eff"))
+        grouped = encoder_operator_breakdown(breakdown.per_kernel_s)
+        assert "other" not in grouped
+        assert set(grouped) == {"Proj1", "QKT", "Softmax", "AttnV", "Proj2", "FF1", "FF2"}
+        assert sum(grouped.values()) == pytest.approx(sum(breakdown.per_kernel_s.values()))
+
+    def test_cora_wins_sdpa_ops(self):
+        """Figure 13: CoRa beats FT-Eff on the SDPA operators (QKT/Softmax/AttnV)."""
+        lengths = np.random.default_rng(0).integers(80, 512, size=128)
+        model = CostModel(v100_gpu())
+        cora = encoder_operator_breakdown(
+            model.evaluate(encoder_layer_workload(lengths, "cora")).per_kernel_s)
+        fteff = encoder_operator_breakdown(
+            model.evaluate(encoder_layer_workload(lengths, "ft-eff")).per_kernel_s)
+        for op in ("QKT", "Softmax", "AttnV"):
+            assert cora[op] < fteff[op]
+
+
+class TestMhaWorkloads:
+    def test_cora_faster_than_tf_on_arm(self):
+        lengths = np.random.default_rng(0).integers(9, 128, size=64)
+        model = CostModel(arm_cpu_64core())
+        tf = model.latency_ms(mha_workload(lengths, "tf"))
+        cora = model.latency_ms(mha_workload(lengths, "cora"))
+        assert cora < tf
+
+    def test_cpu_cora_has_explicit_pad_change(self):
+        lengths = np.array([100, 80, 60])
+        cpu = mha_workload(lengths, "cora", on_gpu=False)
+        gpu = mha_workload(lengths, "cora", on_gpu=True)
+        assert any(k.name == "PadChange" for k in cpu.kernels)
+        assert not any(k.name == "PadChange" for k in gpu.kernels)
