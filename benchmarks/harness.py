@@ -15,6 +15,7 @@ what the harness reproduces, and EXPERIMENTS.md records the comparison.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence
 
@@ -27,6 +28,9 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 #: Datasets in the paper's canonical order (Table 3).
 PAPER_BATCH_SIZES = (32, 64, 128)
+
+#: Codegen backends compared by the backend-speedup benchmark.
+BACKENDS = ("scalar", "vector")
 
 
 def gpu_model() -> CostModel:
@@ -58,6 +62,16 @@ def write_result(name: str, lines: Iterable[str]) -> str:
     with open(path, "w") as fh:
         fh.write(text)
     print(text)
+    return path
+
+
+def write_json_result(name: str, payload: dict) -> str:
+    """Persist a machine-readable trajectory artifact under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path
 
 

@@ -47,11 +47,26 @@ def main() -> None:
 
     # ------------------------------------------------------------------ #
     # 3. Compile and run.
+    #
+    # The executor compiles through a codegen *backend*:
+    #   - "vector" (default): the inner loops collapse into NumPy slice /
+    #     einsum operations over the flat buffers -- orders of magnitude
+    #     faster, with automatic fallback to the scalar backend for
+    #     constructs it cannot vectorize (this fused schedule is one);
+    #   - "scalar": the readable reference emitter, one Python loop per
+    #     axis, used here so the printed kernel shows the loop nest.
+    # Compiled kernels are cached: re-running the same schedule performs
+    # zero re-lowers (see executor.lower_count / cache_hits).
     # ------------------------------------------------------------------ #
-    executor = Executor()
+    executor = Executor(backend="scalar")
     compiled = executor.compile(schedule)
-    print("\n--- generated kernel ---------------------------------------")
+    print("\n--- generated kernel (scalar backend) ----------------------")
     print(compiled.source)
+
+    vector_executor = Executor(backend="vector")
+    unfused_compiled = vector_executor.compile(Schedule(op))
+    print("--- generated kernel (vector backend, unfused schedule) -----")
+    print(unfused_compiled.source)
 
     input_layout = RaggedLayout(
         [batch, seq],

@@ -25,6 +25,8 @@ from repro.core.storage import RaggedLayout
 from repro.core.ragged_tensor import RaggedTensor
 from repro.core.operator import RaggedOperator, compute, input_tensor, placeholder
 from repro.core.schedule import Schedule
+from repro.core.codegen import CodegenBackend, ScalarBackend, get_backend
+from repro.core.codegen_vector import VectorBackend
 from repro.core.executor import Executor
 
 __all__ = [
@@ -41,5 +43,9 @@ __all__ = [
     "input_tensor",
     "placeholder",
     "Schedule",
+    "CodegenBackend",
+    "ScalarBackend",
+    "VectorBackend",
+    "get_backend",
     "Executor",
 ]

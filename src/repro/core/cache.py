@@ -1,0 +1,50 @@
+"""A small capacity-bounded LRU mapping.
+
+Shared by the executor's kernel cache, the prelude caches and the
+transformer's per-mini-batch memo, so the eviction behaviour is defined in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, Optional, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUDict(Generic[K, V]):
+    """An insert/get mapping that evicts least-recently-used entries beyond
+    ``capacity``.  ``get`` refreshes recency; callers keep their own hit/miss
+    counters since their semantics differ."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    def get(self, key: K) -> Optional[V]:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

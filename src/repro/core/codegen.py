@@ -1,20 +1,32 @@
 """Code generation: from a :class:`~repro.core.lowering.LoweredKernel` to
 executable Python.
 
-The generated code is the Python analogue of the C / CUDA C++ CoRa emits:
-scalar loops over the (constant or table-driven) bounds, with ragged tensor
-accesses lowered to flat-buffer offsets through the prelude-built auxiliary
-arrays.  The source is kept readable on purpose -- it is part of the public
-surface (``CompiledKernel.source``) and several tests assert properties of
-it (e.g. that a fused kernel indexes the ``ffo`` fusion map, or that padded
-loops carry no bound checks).
+Code generation is organised around *backends* behind a common
+:class:`CodegenBackend` boundary (mirroring how real ragged compilers keep a
+slow reference emitter next to the fast production one):
+
+* :class:`ScalarBackend` -- this module.  The generated code is the Python
+  analogue of the C / CUDA C++ CoRa emits: scalar loops over the (constant
+  or table-driven) bounds, with ragged tensor accesses lowered to
+  flat-buffer offsets through the prelude-built auxiliary arrays.  It
+  handles every lowered construct and serves as the reference for
+  differential testing.
+* :class:`~repro.core.codegen_vector.VectorBackend` -- collapses the inner
+  constant / table-bound loops and the reduction loops into NumPy slice,
+  ``einsum`` and broadcast operations over the flat buffers, falling back
+  to the scalar backend for constructs it cannot vectorize.
+
+The generated source is kept readable on purpose -- it is part of the
+public surface (``CompiledKernel.source``) and several tests assert
+properties of it (e.g. that a fused kernel indexes the ``ffo`` fusion map,
+or that padded loops carry no bound checks).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,11 +57,18 @@ _INTRINSICS = {
 
 @dataclass
 class GeneratedKernel:
-    """The generated source plus the compiled callable."""
+    """The generated source plus the compiled callable.
+
+    ``backend`` records which backend actually emitted the kernel -- for a
+    :class:`~repro.core.codegen_vector.VectorBackend` request that hit an
+    unvectorizable construct it reads ``"scalar"`` (the fallback), which is
+    how tests and benchmarks observe fallback decisions.
+    """
 
     name: str
     source: str
     fn: object
+    backend: str = "scalar"
 
     def __call__(self, buffers: Dict[str, np.ndarray], aux: Dict[str, np.ndarray]) -> None:
         self.fn(buffers, aux)
@@ -310,6 +329,61 @@ class CodeGenerator:
             return self._offset_code(plan, idx_codes)
         idx_codes = [self._dim_code(d) for d in self.kernel.output_dims]
         return self._offset_code(plan, idx_codes)
+
+
+# ---------------------------------------------------------------------------
+# Backend boundary
+# ---------------------------------------------------------------------------
+
+
+class CodegenBackend:
+    """Abstract boundary between lowering and kernel emission.
+
+    A backend turns a :class:`LoweredKernel` into a
+    :class:`GeneratedKernel`.  Backends must be stateless with respect to
+    individual kernels so one instance can be shared by an executor across
+    compilations.
+    """
+
+    name: str = "abstract"
+
+    def generate(self, kernel: LoweredKernel) -> GeneratedKernel:
+        raise NotImplementedError
+
+
+class ScalarBackend(CodegenBackend):
+    """The reference backend: one Python ``for`` statement per loop.
+
+    Handles every construct lowering can produce (guards, remaps, fused
+    loops, thread remapping); used directly and as the fallback target of
+    the vector backend.
+    """
+
+    name = "scalar"
+
+    def generate(self, kernel: LoweredKernel) -> GeneratedKernel:
+        return CodeGenerator(kernel).generate()
+
+
+def get_backend(backend: Union[str, CodegenBackend, None]) -> CodegenBackend:
+    """Resolve a backend name (``"scalar"`` / ``"vector"``) or instance.
+
+    ``None`` resolves to the default backend (``"vector"``), matching the
+    :class:`~repro.core.executor.Executor` default, so callers forwarding an
+    unset config value get the documented behaviour.
+    """
+    if isinstance(backend, CodegenBackend):
+        return backend
+    if backend == "scalar":
+        return ScalarBackend()
+    if backend is None or backend == "vector":
+        from repro.core.codegen_vector import VectorBackend
+
+        return VectorBackend()
+    raise LoweringError(
+        f"unknown codegen backend {backend!r}; expected 'scalar', 'vector' "
+        "or a CodegenBackend instance"
+    )
 
 
 def generate(kernel: LoweredKernel) -> GeneratedKernel:

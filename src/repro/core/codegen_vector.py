@@ -1,0 +1,632 @@
+"""Vectorized NumPy code generation backend.
+
+Where the scalar backend (:mod:`repro.core.codegen`) emits one Python
+``for`` statement per loop and one flat-buffer load per access, this
+backend keeps only the outermost (governing) loop as a Python loop and
+collapses everything inside it into NumPy operations:
+
+* each ragged tensor's per-instance slice is materialised as a dense
+  ndarray *view* of the flat buffer, addressed through the prelude-built
+  row-offset and stride auxiliary arrays (the whole row at once, not one
+  element at a time);
+* constant- and table-bound inner loops become broadcast axes;
+* ``sum`` reductions over a product of tensor accesses become a single
+  ``np.einsum`` (which dispatches matmul-shaped contractions to BLAS);
+* other reductions become ``.sum()`` / ``.max()`` / ``.min()`` over a
+  broadcast body.
+
+The backend only handles the subset of lowered kernels it can translate
+faithfully: no guards, no thread remaps, no fused loops, no split loops,
+and table bounds governed by the outermost loop.  Anything else raises
+:class:`VectorizeError` and :class:`VectorBackend` transparently falls
+back to the scalar backend, which is why the scalar emitter stays the
+reference implementation for differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.codegen import (
+    CodegenBackend,
+    GeneratedKernel,
+    ScalarBackend,
+    _Emitter,
+)
+from repro.core.dims import Dim
+from repro.core.errors import LoweringError
+from repro.core.ir import (
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    LoopVar,
+    Reduce,
+    TensorAccess,
+    reductions_in,
+)
+from repro.core.lowering import BoundSpec, LoweredKernel, TensorPlan
+
+_NP_INTRINSICS = {
+    "exp": "np.exp",
+    "sqrt": "np.sqrt",
+    "tanh": "np.tanh",
+    "log": "np.log",
+}
+
+
+class VectorizeError(LoweringError):
+    """The lowered kernel contains a construct this backend cannot vectorize."""
+
+
+def _slice_view(buf: np.ndarray, row_offsets: np.ndarray,
+                shapes: np.ndarray, b: int) -> np.ndarray:
+    """Dense ndarray view of ragged slice ``b`` of a flat buffer.
+
+    The slice of governing index ``b`` starts at ``row_offsets[b]`` and is
+    packed row-major with the (storage-padded) per-instance shape recorded
+    by the prelude in ``shapes[b]``.
+    """
+    start = int(row_offsets[b])
+    shape = tuple(int(s) for s in shapes[b])
+    size = 1
+    for s in shape:
+        size *= s
+    return buf[start:start + size].reshape(shape)
+
+
+def _flatten_product(expr: Expr):
+    """Decompose ``expr`` into (constant factors, tensor accesses) if it is a
+    pure product of those; return ``None`` otherwise."""
+    if isinstance(expr, Const):
+        return [float(expr.value)], []
+    if isinstance(expr, TensorAccess):
+        return [], [expr]
+    if isinstance(expr, BinOp) and expr.op == "*":
+        left = _flatten_product(expr.lhs)
+        right = _flatten_product(expr.rhs)
+        if left is None or right is None:
+            return None
+        return left[0] + right[0], left[1] + right[1]
+    return None
+
+
+class VectorCodeGenerator:
+    """Emits the vectorized Python source for one lowered kernel."""
+
+    def __init__(self, kernel: LoweredKernel):
+        self.kernel = kernel
+        self._analyze()
+        #: id(Reduce) -> code of its (out-context aligned) temporary
+        self._reduce_code: Dict[int, str] = {}
+        #: dims of the per-instance loop index arrays already emitted
+        self._index_arrays: Dict[Dim, str] = {}
+
+    # -- analysis ------------------------------------------------------------
+
+    def _analyze(self) -> None:
+        kernel = self.kernel
+        if not kernel.loops:
+            raise VectorizeError("kernel has no loops")
+        if kernel.output_dims_fused:
+            raise VectorizeError("fused output dimensions are not vectorized")
+        gov = kernel.loops[0]
+        if not gov.bound.is_const:
+            raise VectorizeError("outer loop bound must be constant")
+        if gov.guard or gov.remap_name or gov.fusion:
+            raise VectorizeError("outer loop carries a guard/remap/fusion")
+        self.gov_dim = gov.dim
+        self.gov_count = gov.bound.value
+        for loop in kernel.loops[1:]:
+            if loop.guard or loop.remap_name or loop.fusion:
+                raise VectorizeError(
+                    f"loop {loop.dim.name} carries a guard/remap/fusion"
+                )
+            self._check_bound(loop.bound, loop.dim)
+        self.inner_dims: Tuple[Dim, ...] = tuple(l.dim for l in kernel.loops[1:])
+        if kernel.output_dims[0] is not self.gov_dim:
+            raise VectorizeError("outer loop is not the output governing dim")
+        if set(kernel.output_dims[1:]) != set(self.inner_dims):
+            raise VectorizeError(
+                "loop dims do not map 1:1 onto output dims (split/fused loops)"
+            )
+        self.reduce_dims: Tuple[Dim, ...] = tuple(kernel.reduction_bounds)
+        for dim, bound in kernel.reduction_bounds.items():
+            self._check_bound(bound, dim)
+        reduces = reductions_in(kernel.body)
+        for red in reduces:
+            if red.combiner not in ("sum", "max", "min"):
+                raise VectorizeError(f"unknown combiner {red.combiner!r}")
+            if reductions_in(red.body):
+                raise VectorizeError("nested reductions are not vectorized")
+        self.reduces = reduces
+        # Per-dim bound variable names (collision-safe).
+        self._bound_var: Dict[Dim, str] = {}
+        taken: Dict[str, Dim] = {}
+        for dim in self.inner_dims + self.reduce_dims:
+            base = f"_n_{self._safe(dim.name)}"
+            name = base if taken.get(base, dim) is dim else f"{base}_{dim.uid}"
+            taken[name] = dim
+            self._bound_var[dim] = name
+
+    def _check_bound(self, bound: BoundSpec, dim: Dim) -> None:
+        if not bound.is_const and bound.governing is not self.gov_dim:
+            raise VectorizeError(
+                f"bound of {dim.name} is governed by {bound.governing.name}, "
+                "not the outermost loop"
+            )
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self) -> GeneratedKernel:
+        source = self.generate_source()
+        namespace: Dict[str, object] = {"np": np, "_slice_view": _slice_view}
+        exec(compile(source, f"<cora-vec:{self.kernel.name}>", "exec"), namespace)
+        fn = namespace[self._fn_name()]
+        return GeneratedKernel(name=self.kernel.name, source=source, fn=fn,
+                               backend="vector")
+
+    @staticmethod
+    def _safe(name: str) -> str:
+        return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+    def _fn_name(self) -> str:
+        return f"cora_vkernel_{self._safe(self.kernel.name)}"
+
+    # -- source emission -------------------------------------------------------
+
+    def generate_source(self) -> str:
+        kernel = self.kernel
+        em = _Emitter()
+        em.emit(f"def {self._fn_name()}(buffers, aux):")
+        em.push()
+        em.emit(f'"""Vectorized (NumPy) CoRa kernel for operator '
+                f'{kernel.name!r}."""')
+        out_name = kernel.output_plan.spec.name
+        em.emit(f"_buf_{self._safe(out_name)} = buffers[{out_name!r}]")
+        accessed = self._accessed_tensors()
+        for name in kernel.input_plans:
+            if name in accessed:
+                em.emit(f"_buf_{self._safe(name)} = buffers[{name!r}]")
+        for name in sorted(self._aux_names_used()):
+            em.emit(f"_aux_{self._safe(name)} = aux[{name!r}]")
+        # Dense tensors are reshaped once, outside the instance loop.
+        for name in accessed:
+            plan = kernel.input_plans[name]
+            if not plan.is_ragged:
+                shape = ", ".join(str(s) for s in plan.layout.dense_shape())
+                em.emit(f"_nd_{self._safe(name)} = "
+                        f"_buf_{self._safe(name)}.reshape({shape})")
+        if not kernel.output_plan.is_ragged:
+            shape = ", ".join(str(s) for s in kernel.output_plan.layout.dense_shape())
+            em.emit(f"_nd_{self._safe(out_name)} = "
+                    f"_buf_{self._safe(out_name)}.reshape({shape})")
+        em.emit(f"for _b in range({self.gov_count}):")
+        em.push()
+        self._emit_bounds(em)
+        self._emit_views(em, accessed)
+        self._emit_body(em)
+        em.pop()
+        em.pop()
+        return em.source()
+
+    def _accessed_tensors(self) -> List[str]:
+        seen: List[str] = []
+        for expr in self._walk(self.kernel.body):
+            if isinstance(expr, TensorAccess) and expr.tensor.name not in seen:
+                if expr.tensor.name not in self.kernel.input_plans:
+                    raise VectorizeError(
+                        f"access to unknown tensor {expr.tensor.name!r}"
+                    )
+                seen.append(expr.tensor.name)
+        return seen
+
+    @staticmethod
+    def _walk(expr: Expr):
+        yield expr
+        for child in expr.children():
+            yield from VectorCodeGenerator._walk(child)
+
+    @staticmethod
+    def _walk_values(expr: Expr):
+        """Like :meth:`_walk` but does not descend into access indices."""
+        yield expr
+        if isinstance(expr, TensorAccess):
+            return
+        for child in expr.children():
+            yield from VectorCodeGenerator._walk_values(child)
+
+    def _aux_names_used(self) -> List[str]:
+        names: List[str] = []
+        for loop in self.kernel.loops[1:]:
+            if not loop.bound.is_const:
+                names.append(loop.bound.table_name)
+        for bound in self.kernel.reduction_bounds.values():
+            if not bound.is_const:
+                names.append(bound.table_name)
+        for name in self._accessed_tensors():
+            plan = self.kernel.input_plans[name]
+            if plan.is_ragged:
+                names.extend([plan.row_name, plan.shape_name])
+        if self.kernel.output_plan.is_ragged:
+            names.extend([self.kernel.output_plan.row_name,
+                          self.kernel.output_plan.shape_name])
+        return list(dict.fromkeys(names))
+
+    def _emit_bounds(self, em: _Emitter) -> None:
+        for dim in self.inner_dims:
+            loop = next(l for l in self.kernel.loops[1:] if l.dim is dim)
+            em.emit(f"{self._bound_var[dim]} = {self._bound_code(loop.bound)}")
+        for dim, bound in self.kernel.reduction_bounds.items():
+            em.emit(f"{self._bound_var[dim]} = {self._bound_code(bound)}")
+
+    def _bound_code(self, bound: BoundSpec) -> str:
+        if bound.is_const:
+            return str(bound.value)
+        return f"int(_aux_{self._safe(bound.table_name)}[_b])"
+
+    def _emit_views(self, em: _Emitter, accessed: Sequence[str]) -> None:
+        for name in accessed:
+            plan = self.kernel.input_plans[name]
+            if plan.is_ragged:
+                em.emit(self._view_assignment(name, plan))
+        out_plan = self.kernel.output_plan
+        if out_plan.is_ragged:
+            em.emit(self._view_assignment(out_plan.spec.name, out_plan))
+
+    def _view_assignment(self, name: str, plan: TensorPlan) -> str:
+        safe = self._safe(name)
+        return (f"_v_{safe} = _slice_view(_buf_{safe}, "
+                f"_aux_{self._safe(plan.row_name)}, "
+                f"_aux_{self._safe(plan.shape_name)}, _b)")
+
+    # -- body -----------------------------------------------------------------
+
+    def _emit_body(self, em: _Emitter) -> None:
+        ctx_out = self.inner_dims
+        self._reduce_code = {}
+        self._index_arrays = {}
+        # Loop variables used as *values* in the body become arange arrays.
+        # (Loop variables inside tensor-access indices become slices instead,
+        # so the walk does not descend into accesses.)
+        for expr in self._walk_values(self.kernel.body):
+            if (isinstance(expr, LoopVar) and expr.dim is not self.gov_dim
+                    and expr.dim in self._bound_var
+                    and expr.dim not in self._index_arrays):
+                var = "_ix" + self._bound_var[expr.dim][2:]
+                em.emit(f"{var} = np.arange({self._bound_var[expr.dim]})")
+                self._index_arrays[expr.dim] = var
+        for i, red in enumerate(self.reduces):
+            self._emit_reduce(em, red, f"_red{i}", ctx_out)
+        value_code = self._expr_code(self.kernel.body, ctx_out)
+        self._emit_store(em, value_code)
+
+    def _emit_reduce(self, em: _Emitter, red: Reduce, temp: str,
+                     ctx_out: Tuple[Dim, ...]) -> None:
+        axes = tuple(a.dim for a in red.axes)
+        for dim in axes:
+            if dim not in self.kernel.reduction_bounds:
+                raise VectorizeError(
+                    f"reduction axis {dim.name} has no materialised bound"
+                )
+        if self._try_emit_einsum(em, red, temp, ctx_out, axes):
+            return
+        ctx_red = ctx_out + axes
+        body_code = self._expr_code(red.body, ctx_red)
+        shape = self._shape_code(ctx_red)
+        axis_positions = tuple(range(len(ctx_out), len(ctx_red)))
+        axis_code = (str(axis_positions[0]) if len(axis_positions) == 1
+                     else repr(axis_positions))
+        # Match the scalar backend's accumulator semantics (including empty
+        # reductions): sum starts at ``init``, max at -inf, min at ``init``.
+        if red.combiner == "sum":
+            em.emit(f"{temp} = np.broadcast_to({body_code}, {shape})"
+                    f".sum(axis={axis_code})")
+            if float(red.init) != 0.0:
+                em.emit(f"{temp} = {temp} + {self._float_code(red.init)}")
+        elif red.combiner == "max":
+            em.emit(f"{temp} = np.broadcast_to({body_code}, {shape})"
+                    f".max(axis={axis_code}, initial=-np.inf)")
+        else:
+            em.emit(f"{temp} = np.broadcast_to({body_code}, {shape})"
+                    f".min(axis={axis_code}, "
+                    f"initial={self._float_code(red.init)})")
+        self._reduce_code[id(red)] = temp
+
+    @staticmethod
+    def _float_code(value: float) -> str:
+        value = float(value)
+        if np.isinf(value):
+            return "-np.inf" if value < 0 else "np.inf"
+        return repr(value)
+
+    def _try_emit_einsum(self, em: _Emitter, red: Reduce, temp: str,
+                         ctx_out: Tuple[Dim, ...], axes: Tuple[Dim, ...]) -> bool:
+        if red.combiner != "sum":
+            return False
+        flattened = _flatten_product(red.body)
+        if flattened is None:
+            return False
+        consts, accesses = flattened
+        if not accesses:
+            return False
+        operand_dims = [self._access_dims(a) for a in accesses]
+        union: List[Dim] = []
+        for dims in operand_dims:
+            for d in dims:
+                if d not in union:
+                    union.append(d)
+        if any(axis not in union for axis in axes):
+            # A reduction axis the body never indexes multiplies the result
+            # by its trip count; the broadcast path handles that correctly.
+            return False
+        letters: Dict[Dim, str] = {}
+        for d in list(ctx_out) + list(axes):
+            letters[d] = chr(ord("a") + len(letters))
+        for d in union:
+            if d not in letters:
+                raise VectorizeError(
+                    f"access dimension {d.name} is neither a loop nor a "
+                    "reduction dimension"
+                )
+        subs = ",".join("".join(letters[d] for d in dims)
+                        for dims in operand_dims)
+        out_dims = [d for d in ctx_out if d in union and d not in axes]
+        out_sub = "".join(letters[d] for d in out_dims)
+        operands = ", ".join(self._access_raw_code(a) for a in accesses)
+        scale = ""
+        factor = float(np.prod(consts)) if consts else 1.0
+        if factor != 1.0:
+            scale = f" * {factor!r}"
+        em.emit(f"{temp} = np.einsum({subs + '->' + out_sub!r}, {operands}, "
+                f"optimize=True){scale}")
+        if float(red.init) != 0.0:
+            em.emit(f"{temp} = {temp} + {float(red.init)!r}")
+        self._reduce_code[id(red)] = self._aligned_code(temp, tuple(out_dims),
+                                                        ctx_out)
+        return True
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr_code(self, expr: Expr, ctx: Tuple[Dim, ...]) -> str:
+        if isinstance(expr, Reduce):
+            code = self._reduce_code.get(id(expr))
+            if code is None:
+                raise VectorizeError("reduction used before it was emitted")
+            return code
+        if isinstance(expr, Const):
+            return repr(float(expr.value))
+        if isinstance(expr, LoopVar):
+            return self._loop_var_code(expr.dim, ctx)
+        if isinstance(expr, BinOp):
+            lhs = self._expr_code(expr.lhs, ctx)
+            rhs = self._expr_code(expr.rhs, ctx)
+            if expr.op == "max":
+                return f"np.maximum({lhs}, {rhs})"
+            if expr.op == "min":
+                return f"np.minimum({lhs}, {rhs})"
+            if expr.op not in ("+", "-", "*", "/"):
+                raise VectorizeError(f"unknown operator {expr.op!r}")
+            return f"({lhs} {expr.op} {rhs})"
+        if isinstance(expr, Call):
+            args = ", ".join(self._expr_code(a, ctx) for a in expr.args)
+            if expr.fn == "relu":
+                return f"np.maximum(0.0, {args})"
+            fn = _NP_INTRINSICS.get(expr.fn)
+            if fn is None:
+                raise VectorizeError(f"unknown intrinsic {expr.fn!r}")
+            return f"{fn}({args})"
+        if isinstance(expr, TensorAccess):
+            dims = self._access_dims(expr)
+            return self._aligned_code(self._access_raw_code(expr), dims, ctx)
+        raise VectorizeError(f"cannot vectorize expression {expr!r}")
+
+    def _loop_var_code(self, dim: Dim, ctx: Tuple[Dim, ...]) -> str:
+        if dim is self.gov_dim:
+            return "float(_b)"
+        if dim not in ctx:
+            raise VectorizeError(
+                f"loop variable {dim.name} is not available here"
+            )
+        var = self._index_arrays.get(dim)
+        if var is None:
+            raise VectorizeError(
+                f"index array for {dim.name} was not pre-emitted"
+            )
+        return self._aligned_code(var, (dim,), ctx)
+
+    # -- tensor accesses --------------------------------------------------------
+
+    def _access_dims(self, access: TensorAccess) -> Tuple[Dim, ...]:
+        """Non-governing loop/reduction dims indexing ``access``, in axis order."""
+        dims: List[Dim] = []
+        for idx in access.indices:
+            if isinstance(idx, LoopVar) and idx.dim is not self.gov_dim:
+                if idx.dim in dims:
+                    # Diagonal accesses (A[b, i, i]) would need a gather,
+                    # not a slice view; leave them to the scalar backend.
+                    raise VectorizeError(
+                        f"access to {access.tensor.name!r} indexes "
+                        f"{idx.dim.name} more than once"
+                    )
+                dims.append(idx.dim)
+        return tuple(dims)
+
+    def _access_raw_code(self, access: TensorAccess) -> str:
+        """Code for the access as an array whose axes follow the tensor's own
+        axis order (governing and constant indices collapsed)."""
+        plan = self.kernel.input_plans.get(access.tensor.name)
+        if plan is None:
+            raise VectorizeError(
+                f"access to unknown tensor {access.tensor.name!r}"
+            )
+        if plan.is_ragged:
+            first = access.indices[0]
+            if not (isinstance(first, LoopVar) and first.dim is self.gov_dim):
+                raise VectorizeError(
+                    f"ragged access to {access.tensor.name!r} is not "
+                    "governed by the outer loop"
+                )
+            indices = access.indices[1:]
+        else:
+            indices = access.indices
+        for col, idx in enumerate(indices):
+            self._check_index_fits(plan, col, idx)
+        subs = [self._index_sub(idx, access) for idx in indices]
+        prefix = "_v_" if plan.is_ragged else "_nd_"
+        name = f"{prefix}{self._safe(access.tensor.name)}"
+        return f"{name}[{', '.join(subs)}]" if subs else name
+
+    def _bound_of(self, dim: Dim) -> BoundSpec:
+        for loop in self.kernel.loops[1:]:
+            if loop.dim is dim:
+                return loop.bound
+        bound = self.kernel.reduction_bounds.get(dim)
+        if bound is None:
+            raise VectorizeError(f"{dim.name} is not a vectorized loop")
+        return bound
+
+    def _bound_values(self, bound: BoundSpec) -> np.ndarray:
+        if bound.is_const:
+            return np.asarray([bound.value], dtype=np.int64)
+        return np.asarray(self.kernel.aux_arrays[bound.table_name],
+                          dtype=np.int64)
+
+    def _check_index_fits(self, plan: TensorPlan, col: int, idx: Expr) -> None:
+        """Reject (-> scalar fallback) accesses whose loop bound can exceed
+        the instance's storage extent -- slicing a view would silently
+        truncate where the scalar backend's flat-offset arithmetic does not.
+        Happens when a loop is padded without matching storage padding."""
+        if isinstance(idx, Const):
+            needed = np.asarray([int(idx.value) + 1], dtype=np.int64)
+        elif isinstance(idx, LoopVar) and idx.dim is not self.gov_dim:
+            needed = self._bound_values(self._bound_of(idx.dim))
+        else:
+            return
+        if plan.is_ragged:
+            available = np.asarray(
+                self.kernel.aux_arrays[plan.shape_name][:, col],
+                dtype=np.int64)
+        else:
+            available = np.asarray([plan.layout.dense_shape()[col]],
+                                   dtype=np.int64)
+        n = min(needed.size, available.size) or 1
+        needed = needed if needed.size == 1 else needed[:n]
+        available = available if available.size == 1 else available[:n]
+        if np.any(needed > available):
+            raise VectorizeError(
+                f"loop bound exceeds the storage extent of "
+                f"{plan.spec.name!r} axis {col} (loop padding without "
+                "matching storage padding)"
+            )
+
+    def _index_sub(self, idx: Expr, access: TensorAccess) -> str:
+        if isinstance(idx, Const):
+            return str(int(idx.value))
+        if isinstance(idx, LoopVar):
+            if idx.dim is self.gov_dim:
+                return "_b"
+            var = self._bound_var.get(idx.dim)
+            if var is None:
+                raise VectorizeError(
+                    f"access to {access.tensor.name!r} indexes "
+                    f"{idx.dim.name}, which is not a vectorized loop"
+                )
+            return f":{var}"
+        raise VectorizeError(
+            f"unsupported index expression {idx!r} on {access.tensor.name!r}"
+        )
+
+    # -- alignment --------------------------------------------------------------
+
+    def _aligned_code(self, raw: str, raw_dims: Tuple[Dim, ...],
+                      ctx: Tuple[Dim, ...]) -> str:
+        """Align an array whose axes are ``raw_dims`` to the ``ctx`` axis order
+        (transposing and inserting broadcast axes as needed)."""
+        if not raw_dims:
+            return raw
+        for d in raw_dims:
+            if d not in ctx:
+                raise VectorizeError(
+                    f"dimension {d.name} is out of scope in this context"
+                )
+        order = [d for d in ctx if d in raw_dims]
+        perm = [raw_dims.index(d) for d in order]
+        code = raw
+        if perm != sorted(perm):
+            code = f"{code}.transpose({', '.join(map(str, perm))})"
+        if len(order) == len(ctx):
+            return code
+        subs = ", ".join(":" if d in raw_dims else "None" for d in ctx)
+        return f"{code}[{subs}]"
+
+    def _shape_code(self, ctx: Tuple[Dim, ...]) -> str:
+        parts = [self._bound_var[d] for d in ctx]
+        return "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+
+    # -- store -------------------------------------------------------------------
+
+    def _emit_store(self, em: _Emitter, value_code: str) -> None:
+        kernel = self.kernel
+        out_plan = kernel.output_plan
+        safe = self._safe(out_plan.spec.name)
+        store_dims = kernel.output_dims[1:]
+        ctx_out = self.inner_dims
+        for col, dim in enumerate(store_dims):
+            # Ragged shape columns exclude the governing axis; a dense
+            # output's shape includes it at position 0.
+            axis = col if out_plan.is_ragged else col + 1
+            self._check_index_fits(out_plan, axis, LoopVar(dim))
+        if not store_dims:
+            target = f"_v_{safe}" if out_plan.is_ragged else f"_nd_{safe}[_b]"
+            em.emit(f"{target} = {value_code}")
+            return
+        em.emit(f"_val = np.broadcast_to({value_code}, "
+                f"{self._shape_code(ctx_out)})")
+        perm = [ctx_out.index(d) for d in store_dims]
+        val = "_val"
+        if perm != sorted(perm):
+            val = f"_val.transpose({', '.join(map(str, perm))})"
+        subs = ", ".join(f":{self._bound_var[d]}" for d in store_dims)
+        if out_plan.is_ragged:
+            em.emit(f"_v_{safe}[{subs}] = {val}")
+        else:
+            em.emit(f"_nd_{safe}[_b, {subs}] = {val}")
+
+
+class VectorBackend(CodegenBackend):
+    """NumPy-vectorized backend with automatic scalar fallback.
+
+    ``generate`` first attempts vectorized emission; a
+    :class:`VectorizeError` (guards, remaps, fused or split loops, exotic
+    index expressions...) silently falls back to the scalar reference
+    backend, whose result is marked ``backend="scalar"``.
+    """
+
+    name = "vector"
+
+    def __init__(self, fallback: Optional[CodegenBackend] = None):
+        self.fallback = fallback or ScalarBackend()
+        #: counts of vectorized vs fallen-back kernels, for introspection
+        self.vectorized_count = 0
+        self.fallback_count = 0
+
+    def generate(self, kernel: LoweredKernel) -> GeneratedKernel:
+        try:
+            generated = VectorCodeGenerator(kernel).generate()
+        except VectorizeError:
+            self.fallback_count += 1
+            return self.fallback.generate(kernel)
+        self.vectorized_count += 1
+        return generated
+
+
+def can_vectorize(kernel: LoweredKernel) -> bool:
+    """Whether the vector backend can emit ``kernel`` without falling back."""
+    try:
+        VectorCodeGenerator(kernel).generate_source()
+    except VectorizeError:
+        return False
+    return True

@@ -3,7 +3,9 @@
 The executor glues the pipeline of paper Figure 4 together:
 
 1. lower the scheduled operator (:mod:`repro.core.lowering`);
-2. generate the kernel (:mod:`repro.core.codegen`);
+2. generate the kernel through a codegen *backend* (the scalar reference
+   emitter of :mod:`repro.core.codegen` or the vectorized NumPy emitter of
+   :mod:`repro.core.codegen_vector`);
 3. at run time, run the *prelude* (already materialised as the lowered
    kernel's auxiliary arrays -- bound tables, fusion maps, storage offsets,
    remap permutations) and hand the kernel flat buffers for every tensor;
@@ -11,18 +13,26 @@ The executor glues the pipeline of paper Figure 4 together:
    counted FLOPs of the ragged loop nest, the FLOPs a fully padded
    execution would have needed, and (if a simulated device is attached)
    the modelled device latency.
+
+Compilation is cached: a :class:`CompiledKernel` is keyed by the
+(operator, schedule state, input-layout signature) triple, so repeated
+``build_and_run`` calls with an unchanged schedule skip re-lowering and
+re-``exec`` entirely.  ``Executor.lower_count`` / ``cache_hits`` /
+``cache_misses`` expose the cache behaviour to benchmarks and tests.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.codegen import GeneratedKernel, generate
+from repro.core.cache import LRUDict
+from repro.core.codegen import CodegenBackend, GeneratedKernel, get_backend
 from repro.core.errors import ExecutionError
+from repro.core.extents import ConstExtent, Extent, PaddedExtent, VarExtent
 from repro.core.ir import count_flops, reductions_in
 from repro.core.lowering import LoweredKernel, lower_schedule
 from repro.core.ragged_tensor import RaggedTensor
@@ -49,18 +59,42 @@ class ExecutionReport:
 
 @dataclass
 class CompiledKernel:
-    """A lowered, generated, ready-to-run kernel."""
+    """A lowered, generated, ready-to-run kernel.
+
+    The FLOP estimates are pure functions of the lowered kernel, so they
+    are computed once on first access and memoized -- ``run`` no longer
+    re-walks the loop nest on every execution.
+    """
 
     lowered: LoweredKernel
     generated: GeneratedKernel
+    _flops: Optional[int] = field(default=None, repr=False)
+    _dense_flops: Optional[int] = field(default=None, repr=False)
 
     @property
     def source(self) -> str:
         return self.generated.source
 
     @property
+    def backend_name(self) -> str:
+        """Which backend emitted the kernel (``"scalar"`` or ``"vector"``)."""
+        return self.generated.backend
+
+    @property
     def output_layout(self) -> RaggedLayout:
         return self.lowered.output_plan.layout
+
+    @property
+    def flops(self) -> int:
+        if self._flops is None:
+            self._flops = estimate_flops(self.lowered)
+        return self._flops
+
+    @property
+    def dense_flops(self) -> int:
+        if self._dense_flops is None:
+            self._dense_flops = estimate_dense_flops(self.lowered)
+        return self._dense_flops
 
 
 def _per_point_flops(lowered: LoweredKernel) -> int:
@@ -77,9 +111,20 @@ def _per_point_flops(lowered: LoweredKernel) -> int:
     return max(total, 1)
 
 
+def _bound_table(lowered: LoweredKernel, table_name: str, outer: int) -> np.ndarray:
+    """Fetch a bound table, validating it covers the outer loop extent."""
+    table = lowered.aux_arrays[table_name]
+    if table.size != outer:
+        raise ExecutionError(
+            f"bound table {table_name!r} has {table.size} entries but the "
+            f"outer loop of kernel {lowered.name!r} has extent {outer}; the "
+            "prelude arrays do not match the compiled schedule"
+        )
+    return table
+
+
 def estimate_flops(lowered: LoweredKernel) -> int:
     """Total FLOPs of the lowered (ragged, padded-as-scheduled) loop nest."""
-    gov_counts = None
     # Evaluate per-governing-index trip counts of all loops.
     # All bound tables are indexed by the outermost governing dimension.
     outer_bound = lowered.loops[0].bound if lowered.loops else None
@@ -94,20 +139,14 @@ def estimate_flops(lowered: LoweredKernel) -> int:
         if loop.bound.is_const:
             per_b *= loop.bound.value
         else:
-            table = lowered.aux_arrays[loop.bound.table_name]
-            per_b *= table[: per_b.size]
+            per_b *= _bound_table(lowered, loop.bound.table_name, per_b.size)
     for bound in lowered.reduction_bounds.values():
         if bound.is_const:
             per_b *= bound.value
         else:
-            table = lowered.aux_arrays[bound.table_name]
-            per_b *= table[: per_b.size]
+            per_b *= _bound_table(lowered, bound.table_name, per_b.size)
     point_flops = _per_point_flops(lowered)
-    if lowered.loops and not lowered.loops[0].bound.is_const:
-        total_points = float(per_b.sum())
-    else:
-        total_points = float(per_b.sum())
-    return int(total_points * point_flops)
+    return int(float(per_b.sum()) * point_flops)
 
 
 def estimate_dense_flops(lowered: LoweredKernel) -> int:
@@ -130,6 +169,73 @@ def estimate_dense_flops(lowered: LoweredKernel) -> int:
     return int(total * _per_point_flops(lowered))
 
 
+# ---------------------------------------------------------------------------
+# Compilation-cache signatures
+# ---------------------------------------------------------------------------
+
+
+def _extent_signature(ext: Extent) -> Tuple:
+    if isinstance(ext, PaddedExtent):
+        return ("pad", ext.multiple, _extent_signature(ext.base))
+    if isinstance(ext, ConstExtent):
+        return ("const", ext.value)
+    if isinstance(ext, VarExtent):
+        if ext.table is not None:
+            return ("table", ext.dep.uid, ext.table.tobytes())
+        return ("fn", ext.dep.uid, id(ext._fn))
+    return ("extent", id(ext))
+
+
+def _layout_signature(layout: RaggedLayout) -> Tuple:
+    return (
+        tuple(d.uid for d in layout.dims),
+        tuple(_extent_signature(e) for e in layout.base_extents),
+        tuple(sorted((d.uid, p) for d, p in layout.storage_padding.items())),
+    )
+
+
+def schedule_signature(
+    schedule: Schedule,
+    input_layouts: Optional[Dict[str, RaggedLayout]] = None,
+) -> Tuple:
+    """A hashable key capturing everything lowering depends on.
+
+    Covers the operator identity and its (possibly table-backed) extents --
+    the *input-layout signature*, since the raggedness pattern is embedded
+    in the extents -- plus the full mutable schedule state, so mutating and
+    re-compiling a schedule cannot produce a stale cache hit.
+    """
+    op = schedule.operator
+    op_sig = (
+        id(op),
+        tuple(d.uid for d in op.dims),
+        tuple(_extent_signature(e) for e in op.loop_extents),
+        tuple(_extent_signature(e) for e in op.storage_extents),
+    )
+    sched_sig = (
+        tuple(sorted((d.uid, p) for d, p in schedule.loop_padding.items())),
+        tuple(sorted((d.uid, p) for d, p in schedule.storage_padding.items())),
+        tuple(sorted(
+            (name, tuple(sorted((d.uid, p) for d, p in pads.items())))
+            for name, pads in schedule.input_storage_padding.items()
+        )),
+        tuple((s.original.uid, s.outer.uid, s.inner.uid, s.factor)
+              for s in schedule.splits),
+        tuple((f.outer.uid, f.inner.uid, f.fused.uid) for f in schedule.fusions),
+        tuple((o.uid, i.uid) for o, i in schedule.dim_fusions),
+        tuple(sorted((d.uid, a.value) for d, a in schedule.annotations.items())),
+        tuple((r.dim.uid, r.policy if isinstance(r.policy, str) else id(r.policy))
+              for r in schedule.remaps),
+        tuple(d.uid for d in schedule.loop_order),
+        schedule.hoist_loads,
+    )
+    layouts_sig = tuple(sorted(
+        (name, _layout_signature(layout))
+        for name, layout in (input_layouts or {}).items()
+    ))
+    return (op_sig, sched_sig, layouts_sig)
+
+
 class Executor:
     """Compiles schedules and runs the generated kernels.
 
@@ -138,10 +244,40 @@ class Executor:
     device:
         Optional :class:`~repro.substrates.device.Device`; when given, each
         execution report includes a modelled device latency for the kernel.
+    backend:
+        Codegen backend: ``"vector"`` (default -- NumPy-vectorized with
+        automatic scalar fallback), ``"scalar"`` (the reference emitter),
+        or a :class:`~repro.core.codegen.CodegenBackend` instance.
+    cache:
+        Whether to cache compiled kernels across :meth:`compile` /
+        :meth:`build_and_run` calls (keyed by operator, schedule state and
+        input-layout signature).
+    cache_capacity:
+        Maximum number of cached kernels; least-recently-used entries are
+        evicted beyond that, bounding memory in long-running processes.
+
+    Attributes
+    ----------
+    lower_count:
+        Number of actual lower+generate passes performed (cache misses).
+    cache_hits / cache_misses:
+        Kernel-cache statistics.
     """
 
-    def __init__(self, device: Optional[object] = None):
+    def __init__(self, device: Optional[object] = None,
+                 backend: Union[str, CodegenBackend, None] = "vector",
+                 cache: bool = True, cache_capacity: int = 256):
         self.device = device
+        self.backend = get_backend(backend)
+        self.cache_enabled = cache
+        self.cache_capacity = int(cache_capacity)
+        #: key -> (compiled kernel, pinned schedule, pinned layouts), LRU.
+        #: The schedule/layout references keep the objects (and hence the
+        #: ids in the key) alive for as long as the entry exists.
+        self._kernel_cache: LRUDict[Tuple, Tuple[CompiledKernel, Schedule, object]] = LRUDict(self.cache_capacity)
+        self.lower_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- compilation ----------------------------------------------------------
 
@@ -150,10 +286,32 @@ class Executor:
         schedule: Schedule,
         input_layouts: Optional[Dict[str, RaggedLayout]] = None,
     ) -> CompiledKernel:
-        """Lower and generate code for a scheduled operator."""
+        """Lower and generate code for a scheduled operator (cached)."""
+        if not self.cache_enabled:
+            return self._compile_uncached(schedule, input_layouts)
+        key = (self.backend.name, schedule_signature(schedule, input_layouts))
+        entry = self._kernel_cache.get(key)
+        if entry is not None:
+            self.cache_hits += 1
+            return entry[0]
+        self.cache_misses += 1
+        compiled = self._compile_uncached(schedule, input_layouts)
+        self._kernel_cache.put(key, (compiled, schedule, input_layouts))
+        return compiled
+
+    def _compile_uncached(
+        self,
+        schedule: Schedule,
+        input_layouts: Optional[Dict[str, RaggedLayout]] = None,
+    ) -> CompiledKernel:
+        self.lower_count += 1
         lowered = lower_schedule(schedule, input_layouts=input_layouts)
-        generated = generate(lowered)
+        generated = self.backend.generate(lowered)
         return CompiledKernel(lowered=lowered, generated=generated)
+
+    def clear_cache(self) -> None:
+        """Drop all cached kernels (counters are left untouched)."""
+        self._kernel_cache.clear()
 
     # -- execution --------------------------------------------------------------
 
@@ -206,8 +364,8 @@ class Executor:
         compiled.generated(buffers, lowered.aux_arrays)
         wall = time.perf_counter() - t0
 
-        flops = estimate_flops(lowered)
-        dense_flops = estimate_dense_flops(lowered)
+        flops = compiled.flops
+        dense_flops = compiled.dense_flops
         device_latency = None
         if self.device is not None:
             bytes_moved = sum(b.nbytes for b in buffers.values())
@@ -232,3 +390,19 @@ class Executor:
         """Compile and immediately execute a scheduled operator."""
         compiled = self.compile(schedule, input_layouts=input_layouts)
         return self.run(compiled, inputs)
+
+
+#: Process-wide default executors, one per backend name.  The ops-layer
+#: convenience wrappers (``vgemm_compiled`` etc.) route through these when
+#: no explicit executor is passed, so their kernel caches persist across
+#: calls instead of dying with a per-call Executor.
+_SHARED_EXECUTORS: Dict[str, Executor] = {}
+
+
+def shared_executor(backend: str = "vector") -> Executor:
+    """The process-wide default :class:`Executor` for the given backend."""
+    executor = _SHARED_EXECUTORS.get(backend)
+    if executor is None:
+        executor = Executor(backend=backend)
+        _SHARED_EXECUTORS[backend] = executor
+    return executor

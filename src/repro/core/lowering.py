@@ -105,9 +105,13 @@ class TensorPlan:
 
     spec: TensorSpec
     layout: RaggedLayout
-    #: aux array names for ragged layouts.
+    #: aux array names for ragged layouts.  The scalar backend addresses
+    #: elements through ``row_name``/``stride_name``; the vector backend
+    #: additionally uses ``shape_name`` (the per-instance storage shapes) to
+    #: view whole slices at once.
     row_name: str = ""
     stride_name: str = ""
+    shape_name: str = ""
     #: constant strides for dense layouts.
     dense_strides: Tuple[int, ...] = ()
 
@@ -348,10 +352,12 @@ def lower_schedule(
             layout_aux = layout.build_aux()
             row_name = f"{prefix}_{spec.name}_row"
             stride_name = f"{prefix}_{spec.name}_strides"
+            shape_name = f"{prefix}_{spec.name}_shapes"
             aux[row_name] = layout_aux.row_offsets
             aux[stride_name] = layout_aux.slice_strides
+            aux[shape_name] = layout_aux.slice_shapes
             return TensorPlan(spec=spec, layout=layout, row_name=row_name,
-                              stride_name=stride_name)
+                              stride_name=stride_name, shape_name=shape_name)
         shape = layout.dense_shape()
         strides = [1] * len(shape)
         for i in range(len(shape) - 2, -1, -1):

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cache import LRUDict
 from repro.core.extents import ceil_to
 from repro.core.storage import RaggedLayout
 
@@ -152,9 +153,13 @@ class PreludeBuilder:
     """
 
     def __init__(self, copy_bandwidth_gbps: float = 12.0,
-                 copy_latency_us: float = 10.0):
+                 copy_latency_us: float = 10.0,
+                 cache: Optional["PreludeCache"] = None):
         self.copy_bandwidth_gbps = copy_bandwidth_gbps
         self.copy_latency_us = copy_latency_us
+        #: optional :class:`PreludeCache` reusing fusion maps across builds
+        #: of mini-batches with identical length tuples (insight I1).
+        self.cache = cache
 
     def build(
         self,
@@ -178,13 +183,19 @@ class PreludeBuilder:
         result = PreludeResult()
         t0 = time.perf_counter()
         for name, layout in layouts.items():
-            aux = layout.build_aux(force=True)
+            # With a cache attached, reuse each layout's own memoized aux;
+            # without one, force a rebuild so the measured time reflects a
+            # real prelude run (the Tables 7-8 benchmarks rely on that).
+            aux = layout.build_aux(force=self.cache is None)
             result.storage_aux[name] = aux.row_offsets
         result.storage_time_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         for name, (lengths, pad) in (fused_loops or {}).items():
-            result.fusion_maps[name] = build_fusion_maps(lengths, pad)
+            if self.cache is not None:
+                result.fusion_maps[name] = self.cache.fusion_maps(lengths, pad)
+            else:
+                result.fusion_maps[name] = build_fusion_maps(lengths, pad)
         result.fusion_time_s = time.perf_counter() - t0
 
         if copy_to_device:
@@ -194,6 +205,65 @@ class PreludeBuilder:
                 + nbytes / (self.copy_bandwidth_gbps * 1e9)
             )
         return result
+
+
+# ---------------------------------------------------------------------------
+# Prelude memoization (paper insight I1)
+# ---------------------------------------------------------------------------
+
+
+class PreludeCache:
+    """Memoizes prelude outputs keyed by the mini-batch length tuple.
+
+    The paper's insight I1: the raggedness pattern of a mini-batch is known
+    before any kernel runs *and is shared across every layer of the model*,
+    so the row-offset arrays and fusion maps only need to be built once per
+    mini-batch, not once per kernel.  Keys are the (lengths, pad) pair;
+    values are the materialised arrays.  ``hits`` / ``misses`` expose the
+    reuse rate to benchmarks and tests.  Least-recently-used entries are
+    evicted beyond ``capacity``, bounding memory when a long-running
+    process sees many distinct mini-batches.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = int(capacity)
+        self._fusion: LRUDict = LRUDict(self.capacity)
+        self._rows: LRUDict = LRUDict(self.capacity)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(lengths: Sequence[int]) -> bytes:
+        return np.ascontiguousarray(lengths, dtype=np.int64).tobytes()
+
+    def fusion_maps(self, lengths: Sequence[int], pad: int = 1) -> FusionMaps:
+        """Memoized :func:`build_fusion_maps`."""
+        key = (self._key(lengths), int(pad))
+        maps = self._fusion.get(key)
+        if maps is not None:
+            self.hits += 1
+            return maps
+        self.misses += 1
+        maps = build_fusion_maps(lengths, pad=pad)
+        self._fusion.put(key, maps)
+        return maps
+
+    def row_offsets(self, lengths: Sequence[int], pad: int = 1,
+                    inner_factor: int = 1) -> np.ndarray:
+        """Memoized :func:`build_row_offsets`."""
+        key = (self._key(lengths), int(pad), int(inner_factor))
+        offsets = self._rows.get(key)
+        if offsets is not None:
+            self.hits += 1
+            return offsets
+        self.misses += 1
+        offsets = build_row_offsets(lengths, pad=pad, inner_factor=inner_factor)
+        self._rows.put(key, offsets)
+        return offsets
+
+    def clear(self) -> None:
+        self._fusion.clear()
+        self._rows.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.cache import LRUDict
 from repro.core.extents import ceil_to
 from repro.core.prelude import PreludeBuilder, bulk_pad_lengths
 from repro.core.ragged_tensor import ragged_from_lengths
@@ -53,9 +54,59 @@ from repro.substrates.costmodel import KernelLaunch, Workload
 # ---------------------------------------------------------------------------
 
 
+#: Memoized prelude results keyed by the mini-batch sequence-length tuple
+#: (paper insight I1: raggedness is known up front and shared across all
+#: layers, so the aux arrays are built once per mini-batch, not per kernel).
+#: The fusion-map arrays themselves are shared through a
+#: :class:`~repro.core.prelude.PreludeCache` so other prelude consumers
+#: reuse the same memoized arrays.  Both memos are LRU-bounded so a
+#: long-running process seeing many distinct mini-batches cannot grow
+#: without bound.  Hits return a copy so caller mutation cannot corrupt
+#: the memoized entry.
+_PRELUDE_MEMO: LRUDict = LRUDict(capacity=128)
+_PRELUDE_MEMO_STATS = {"hits": 0, "misses": 0}
+_PRELUDE_CACHE = None
+
+
+def _shared_prelude_cache():
+    global _PRELUDE_CACHE
+    if _PRELUDE_CACHE is None:
+        from repro.core.prelude import PreludeCache
+
+        _PRELUDE_CACHE = PreludeCache()
+    return _PRELUDE_CACHE
+
+
+def prelude_memo_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-mini-batch prelude memo (for tests)."""
+    return dict(_PRELUDE_MEMO_STATS)
+
+
+def clear_prelude_memo() -> None:
+    _PRELUDE_MEMO.clear()
+    _PRELUDE_MEMO_STATS["hits"] = 0
+    _PRELUDE_MEMO_STATS["misses"] = 0
+    if _PRELUDE_CACHE is not None:
+        _PRELUDE_CACHE.clear()
+
+
 def _prelude_overheads(lengths: np.ndarray, config: TransformerConfig,
                        on_gpu: bool) -> Dict[str, float]:
     """Prelude time and auxiliary bytes for one mini-batch (shared across layers)."""
+    key = (tuple(int(s) for s in lengths), config.hidden_size,
+           config.num_heads, config.loop_pad, bool(on_gpu))
+    cached = _PRELUDE_MEMO.get(key)
+    if cached is not None:
+        _PRELUDE_MEMO_STATS["hits"] += 1
+        return dict(cached)
+    _PRELUDE_MEMO_STATS["misses"] += 1
+    result = _build_prelude_overheads(lengths, config, on_gpu)
+    _PRELUDE_MEMO.put(key, result)
+    return dict(result)
+
+
+def _build_prelude_overheads(lengths: np.ndarray, config: TransformerConfig,
+                             on_gpu: bool) -> Dict[str, float]:
     from repro.core.dims import Dim
     from repro.core.extents import ConstExtent, VarExtent
 
@@ -74,7 +125,7 @@ def _prelude_overheads(lengths: np.ndarray, config: TransformerConfig,
              ConstExtent(config.num_heads), ConstExtent(1)],
         ),
     }
-    builder = PreludeBuilder()
+    builder = PreludeBuilder(cache=_shared_prelude_cache())
     result = builder.build(
         layouts,
         fused_loops={"tokens": (lengths, 1)},
@@ -414,16 +465,28 @@ def run_encoder_layer_numeric(
     weights: EncoderWeights,
     config: TransformerConfig = PAPER_BASE_CONFIG,
     masked: bool = False,
+    backend: Optional[str] = None,
+    executor: Optional[object] = None,
 ) -> EncoderLayerResult:
     """Run one encoder layer numerically on ragged inputs.
 
     ``hidden`` is a list of per-sequence ``(length, hidden)`` matrices.
     Linear operators run on the packed (vloop-fused) token matrix; the SDPA
     operators run per sequence -- mirroring CoRa's implementation structure.
+
+    With ``backend`` (``"vector"`` / ``"scalar"``) or an explicit
+    ``executor``, the SDPA operators run through the CoRa compiled pipeline
+    (lowering + codegen with that backend) instead of the NumPy reference;
+    only the unmasked variant is supported there.
     """
     lengths = [h.shape[0] for h in hidden]
     h_size = config.hidden_size
     heads, d = config.num_heads, config.head_size
+    if masked and (backend is not None or executor is not None):
+        raise ValueError(
+            "masked SDPA is not supported by the compiled backends yet; "
+            "drop backend=/executor= to use the numeric reference"
+        )
 
     tokens = pack_tokens(hidden)
     qkv = linear_packed(tokens, weights.wqkv, weights.bqkv)
@@ -436,7 +499,13 @@ def run_encoder_layer_numeric(
         k.append(np.ascontiguousarray(reshaped[1]))
         v.append(np.ascontiguousarray(reshaped[2]))
 
-    attn = sdpa_slices(q, k, v, head_size=d, masked=masked)
+    if backend is not None or executor is not None:
+        from repro.ops.attention import sdpa_compiled
+
+        attn = sdpa_compiled(q, k, v, head_size=d,
+                             backend=backend or "vector", executor=executor)
+    else:
+        attn = sdpa_slices(q, k, v, head_size=d, masked=masked)
     attn_tokens = pack_tokens([
         a.transpose(1, 0, 2).reshape(a.shape[1], heads * d) for a in attn
     ])

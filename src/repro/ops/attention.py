@@ -16,13 +16,20 @@ provides:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.extents import ceil_to
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent, ceil_to
+from repro.core.ir import LoopVar
+from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.storage import RaggedLayout
+from repro.core.schedule import Schedule
 from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
-from repro.ops.softmax import softmax_slices
+from repro.ops.softmax import softmax_compiled, softmax_slices
 from repro.substrates.costmodel import KernelLaunch, Workload, gemm_flops
 
 
@@ -119,6 +126,142 @@ def random_qkv(lengths: Sequence[int], config: TransformerConfig = PAPER_BASE_CO
         k.append(rng.standard_normal(shape).astype(np.float32))
         v.append(rng.standard_normal(shape).astype(np.float32))
     return {"q": q, "k": k, "v": v}
+
+
+# ---------------------------------------------------------------------------
+# Compiled (executor-backed) implementations
+# ---------------------------------------------------------------------------
+
+
+def _qkv_layout(lengths: np.ndarray, heads: int, head_size: int) -> RaggedLayout:
+    """Layout of a per-sequence ``[batch, heads, s(b), head_size]`` tensor."""
+    batch = Dim("batch")
+    return RaggedLayout(
+        [batch, Dim("head"), Dim("seq"), Dim("hd")],
+        [ConstExtent(lengths.size), ConstExtent(heads),
+         VarExtent(batch, lengths), ConstExtent(head_size)])
+
+
+@lru_cache(maxsize=64)
+def _qkt_schedule(lens_bytes: bytes, heads: int, head_size: int,
+                  scale: Optional[float]) -> Schedule:
+    """Memoized QK^T schedule (same object per problem -> kernel-cache hits)."""
+    lens = np.frombuffer(lens_bytes, dtype=np.int64)
+    bsz = int(lens.size)
+    batch, head, qi, kj = Dim("batch"), Dim("head"), Dim("qi"), Dim("kj")
+    q_in = input_tensor("Q", [batch, Dim("qh"), Dim("qs"), Dim("qd")],
+                        [ConstExtent(bsz), ConstExtent(heads),
+                         VarExtent(batch, lens), ConstExtent(head_size)])
+    k_in = input_tensor("K", [batch, Dim("kh"), Dim("ks"), Dim("kd")],
+                        [ConstExtent(bsz), ConstExtent(heads),
+                         VarExtent(batch, lens), ConstExtent(head_size)])
+    dax = reduce_axis(head_size, "d")
+
+    def body(b, h, i, j):
+        scores = sum_reduce(
+            q_in[b, h, i, LoopVar(dax.dim)] * k_in[b, h, j, LoopVar(dax.dim)],
+            dax)
+        return scores * float(scale) if scale is not None else scores
+
+    op = compute("QKT", [batch, head, qi, kj],
+                 [ConstExtent(bsz), ConstExtent(heads),
+                  VarExtent(batch, lens), VarExtent(batch, lens)],
+                 body)
+    return Schedule(op)
+
+
+def qkt_compiled(q: Sequence[np.ndarray], k: Sequence[np.ndarray],
+                 scale: Optional[float] = None,
+                 backend: str = "vector",
+                 executor: Optional["Executor"] = None,
+                 ) -> Tuple[List[np.ndarray], "ExecutionReport"]:
+    """``Q K^T`` through the CoRa pipeline (per-sequence ragged scores).
+
+    ``q[b]`` / ``k[b]`` have shape ``(heads, s_b, head_size)``; the result
+    slices have shape ``(heads, s_b, s_b)``.
+    """
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    lens = np.ascontiguousarray([x.shape[1] for x in q], dtype=np.int64)
+    heads, head_size = int(q[0].shape[0]), int(q[0].shape[2])
+    bsz = int(lens.size)
+    schedule = _qkt_schedule(lens.tobytes(), heads, head_size,
+                             None if scale is None else float(scale))
+    layout = _qkv_layout(lens, heads, head_size)
+    inputs = {"Q": RaggedTensor.from_slices(layout, list(q)),
+              "K": RaggedTensor.from_slices(layout, list(k))}
+    out, report = executor.build_and_run(schedule, inputs)
+    return [out.valid_slice(b) for b in range(bsz)], report
+
+
+@lru_cache(maxsize=64)
+def _attnv_schedule(lens_bytes: bytes, heads: int, head_size: int) -> Schedule:
+    """Memoized AttnV schedule (same object per problem -> kernel-cache hits)."""
+    lens = np.frombuffer(lens_bytes, dtype=np.int64)
+    bsz = int(lens.size)
+    batch, head, qi, hd = Dim("batch"), Dim("head"), Dim("qi"), Dim("hd")
+    a_in = input_tensor("Attn", [batch, Dim("ah"), Dim("ai"), Dim("aj")],
+                        [ConstExtent(bsz), ConstExtent(heads),
+                         VarExtent(batch, lens), VarExtent(batch, lens)])
+    v_in = input_tensor("V", [batch, Dim("vh"), Dim("vs"), Dim("vd")],
+                        [ConstExtent(bsz), ConstExtent(heads),
+                         VarExtent(batch, lens), ConstExtent(head_size)])
+    jax = reduce_axis(VarExtent(batch, lens), "j")
+    op = compute("AttnV", [batch, head, qi, hd],
+                 [ConstExtent(bsz), ConstExtent(heads),
+                  VarExtent(batch, lens), ConstExtent(head_size)],
+                 lambda b, h, i, d: sum_reduce(
+                     a_in[b, h, i, LoopVar(jax.dim)]
+                     * v_in[b, h, LoopVar(jax.dim), d], jax))
+    return Schedule(op)
+
+
+def attnv_compiled(attn: Sequence[np.ndarray], v: Sequence[np.ndarray],
+                   backend: str = "vector",
+                   executor: Optional["Executor"] = None,
+                   ) -> Tuple[List[np.ndarray], "ExecutionReport"]:
+    """``softmax(QK^T) @ V`` through the CoRa pipeline.
+
+    ``attn[b]`` has shape ``(heads, s_b, s_b)``, ``v[b]`` has shape
+    ``(heads, s_b, head_size)``.
+    """
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    lens = np.ascontiguousarray([x.shape[1] for x in v], dtype=np.int64)
+    heads, head_size = int(v[0].shape[0]), int(v[0].shape[2])
+    bsz = int(lens.size)
+    schedule = _attnv_schedule(lens.tobytes(), heads, head_size)
+    from repro.ops.softmax import attention_scores_layout
+
+    inputs = {
+        "Attn": RaggedTensor.from_slices(attention_scores_layout(lens, heads),
+                                         list(attn)),
+        "V": RaggedTensor.from_slices(_qkv_layout(lens, heads, head_size),
+                                      list(v)),
+    }
+    out, report = executor.build_and_run(schedule, inputs)
+    return [out.valid_slice(b) for b in range(bsz)], report
+
+
+def sdpa_compiled(q: Sequence[np.ndarray], k: Sequence[np.ndarray],
+                  v: Sequence[np.ndarray], head_size: int,
+                  backend: str = "vector",
+                  executor: Optional["Executor"] = None) -> List[np.ndarray]:
+    """Unmasked scaled dot-product attention through the CoRa pipeline:
+    compiled QK^T -> compiled ragged softmax -> compiled AttnV."""
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    scale = 1.0 / float(np.sqrt(head_size))
+    scores, _ = qkt_compiled(q, k, scale=scale, executor=executor)
+    probs, _ = softmax_compiled(scores, executor=executor)
+    out, _ = attnv_compiled(probs, v, executor=executor)
+    return out
 
 
 # ---------------------------------------------------------------------------

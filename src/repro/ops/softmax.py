@@ -11,10 +11,24 @@ FasterTransformer's schedule).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import LoopVar, exp
+from repro.core.operator import (
+    compute,
+    input_tensor,
+    max_reduce,
+    reduce_axis,
+    sum_reduce,
+)
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.schedule import Schedule
+from repro.core.storage import RaggedLayout
 from repro.substrates.costmodel import KernelLaunch, softmax_flops
 
 
@@ -48,6 +62,87 @@ def masked_softmax_dense(scores: np.ndarray, lengths: Sequence[int]) -> np.ndarr
     out = e / np.maximum(e.sum(axis=-1, keepdims=True), 1e-30)
     row_mask = mask[:, None, :, None]
     return np.where(row_mask, out, 0.0)
+
+
+# -- compiled (executor-backed) implementation ------------------------------------
+
+
+def attention_scores_layout(lengths: Sequence[int], num_heads: int,
+                            ) -> RaggedLayout:
+    """Layout of the ragged attention-score tensor ``[batch, heads, s(b), s(b)]``."""
+    lens = np.asarray(lengths, dtype=np.int64)
+    batch = Dim("batch")
+    return RaggedLayout(
+        [batch, Dim("head"), Dim("qi"), Dim("kj")],
+        [ConstExtent(lens.size), ConstExtent(num_heads),
+         VarExtent(batch, lens), VarExtent(batch, lens)])
+
+
+@lru_cache(maxsize=64)
+def _softmax_schedules(lens_bytes: bytes, heads: int,
+                       ) -> Tuple[Schedule, Schedule, Schedule, Schedule]:
+    """The four softmax kernels (row max, shifted exp, row sum, normalise),
+    memoized per (lengths, heads) so the executor's kernel cache hits."""
+    lens = np.frombuffer(lens_bytes, dtype=np.int64)
+    bsz = int(lens.size)
+    batch, head, qi, kj = Dim("batch"), Dim("head"), Dim("qi"), Dim("kj")
+    row_extents = [ConstExtent(bsz), ConstExtent(heads), VarExtent(batch, lens)]
+    mat_extents = row_extents + [VarExtent(batch, lens)]
+
+    s_in = input_tensor("S", [batch, head, qi, kj], mat_extents)
+    m_in = input_tensor("M", [batch, head, qi], row_extents)
+    e_in = input_tensor("E", [batch, head, qi, kj], mat_extents)
+    z_in = input_tensor("Z", [batch, head, qi], row_extents)
+
+    jax = reduce_axis(VarExtent(batch, lens), "j")
+    max_op = compute("M", [batch, head, qi], row_extents,
+                     lambda b, h, i: max_reduce(
+                         s_in[b, h, i, LoopVar(jax.dim)], jax))
+    exp_op = compute("E", [batch, head, qi, kj], mat_extents,
+                     lambda b, h, i, j: exp(s_in[b, h, i, j] - m_in[b, h, i]))
+    sumax = reduce_axis(VarExtent(batch, lens), "j2")
+    sum_op = compute("Z", [batch, head, qi], row_extents,
+                     lambda b, h, i: sum_reduce(
+                         e_in[b, h, i, LoopVar(sumax.dim)], sumax))
+    div_op = compute("P", [batch, head, qi, kj], mat_extents,
+                     lambda b, h, i, j: e_in[b, h, i, j] / z_in[b, h, i])
+    return (Schedule(max_op), Schedule(exp_op), Schedule(sum_op),
+            Schedule(div_op))
+
+
+def softmax_compiled(scores: Sequence[np.ndarray],
+                     backend: str = "vector",
+                     executor: Optional["Executor"] = None,
+                     ) -> Tuple[List[np.ndarray], List["ExecutionReport"]]:
+    """Row-wise ragged softmax through the CoRa pipeline.
+
+    ``scores[b]`` has shape ``(heads, s_b, s_b)``.  Compiled as the same
+    four-kernel chain a real ragged compiler emits (row max, shifted exp,
+    row sum, normalise), each kernel scheduled and code-generated with the
+    chosen backend.  Returns the per-sequence probabilities and the four
+    execution reports.
+    """
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    lens = np.ascontiguousarray([s.shape[-1] for s in scores], dtype=np.int64)
+    heads = int(scores[0].shape[0])
+    bsz = int(lens.size)
+    max_sch, exp_sch, sum_sch, div_sch = _softmax_schedules(lens.tobytes(),
+                                                            heads)
+    s_tensor = RaggedTensor.from_slices(
+        attention_scores_layout(lens, heads), list(scores))
+    reports = []
+    m_out, rep = executor.build_and_run(max_sch, {"S": s_tensor})
+    reports.append(rep)
+    e_out, rep = executor.build_and_run(exp_sch, {"S": s_tensor, "M": m_out})
+    reports.append(rep)
+    z_out, rep = executor.build_and_run(sum_sch, {"E": e_out})
+    reports.append(rep)
+    p_out, rep = executor.build_and_run(div_sch, {"E": e_out, "Z": z_out})
+    reports.append(rep)
+    return [p_out.valid_slice(b) for b in range(bsz)], reports
 
 
 def softmax_launch(lengths: Sequence[int], num_heads: int,

@@ -14,10 +14,16 @@ densely packed non-zero elements (Section 7.1).  The paper evaluates:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import LoopVar
+from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
+from repro.core.schedule import Schedule
 from repro.substrates.costmodel import KernelLaunch, Workload, gemm_flops
 
 
@@ -66,6 +72,48 @@ def trmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def triangular_elements(n: int) -> int:
     """Number of valid elements of an ``n x n`` lower-triangular matrix."""
     return n * (n + 1) // 2
+
+
+# -- compiled (executor-backed) implementation ------------------------------------
+
+
+@lru_cache(maxsize=64)
+def make_trmm_schedule(n: int) -> Schedule:
+    """Describe ``lower @ dense`` as a CoRa operator with a *variable
+    reduction bound*: row ``r`` only reduces over columns ``0 .. r``.
+
+    Memoized per size so repeated calls hit the executor's kernel cache;
+    treat the returned schedule as immutable.
+    """
+    row, col = Dim("row"), Dim("col")
+    lower = input_tensor("L", [row, Dim("lk")],
+                         [ConstExtent(n), ConstExtent(n)])
+    dense = input_tensor("B", [Dim("bk"), col],
+                         [ConstExtent(n), ConstExtent(n)])
+    axis = reduce_axis(VarExtent(row, np.arange(1, n + 1)), "k")
+    op = compute(
+        "T", [row, col], [ConstExtent(n), ConstExtent(n)],
+        lambda r, c: sum_reduce(
+            lower[r, LoopVar(axis.dim)] * dense[LoopVar(axis.dim), c], axis),
+    )
+    return Schedule(op)
+
+
+def trmm_compiled(lower: np.ndarray, dense: np.ndarray,
+                  backend: str = "vector",
+                  executor: Optional["Executor"] = None,
+                  ) -> Tuple[np.ndarray, "ExecutionReport"]:
+    """Run trmm through the CoRa pipeline with the chosen codegen backend."""
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    n = int(lower.shape[0])
+    schedule = make_trmm_schedule(n)
+    out, report = executor.build_and_run(
+        schedule, {"L": np.asarray(lower, dtype=np.float32),
+                   "B": np.asarray(dense, dtype=np.float32)})
+    return out.to_dense(), report
 
 
 # -- FLOP models -------------------------------------------------------------------

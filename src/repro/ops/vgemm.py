@@ -15,10 +15,18 @@ pairs whose dimensions differ per batch element.  The paper compares:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.dims import Dim
+from repro.core.extents import ConstExtent, VarExtent
+from repro.core.ir import LoopVar
+from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
+from repro.core.ragged_tensor import RaggedTensor
+from repro.core.schedule import Schedule
+from repro.core.storage import RaggedLayout
 from repro.data.datasets import uniform_multiple_lengths
 from repro.substrates.costmodel import KernelLaunch, Workload, gemm_flops
 
@@ -114,6 +122,93 @@ def random_instances(problem: VgemmProblem, seed: int = 0,
         a_list.append(rng.standard_normal((m, k)).astype(np.float32))
         b_list.append(rng.standard_normal((k, n)).astype(np.float32))
     return a_list, b_list
+
+
+# -- compiled (executor-backed) implementation ------------------------------------
+
+
+def make_vgemm_schedule(ms: Sequence[int], ns: Sequence[int],
+                        ks: Sequence[int]) -> Schedule:
+    """Describe the vgemm batch as a single CoRa ragged operator.
+
+    ``C[b, i, j] = sum_k A[b, i, k] * B[b, k, j]`` with all three inner
+    extents variable per batch instance.  Schedules are memoized per
+    dimension tuple -- repeated calls with equal problems return the *same*
+    schedule object so the executor's kernel cache hits; treat it as
+    immutable (copy the operator before rescheduling).
+    """
+    ms = np.ascontiguousarray(ms, dtype=np.int64)
+    ns = np.ascontiguousarray(ns, dtype=np.int64)
+    ks = np.ascontiguousarray(ks, dtype=np.int64)
+    return _vgemm_schedule_memo(ms.tobytes(), ns.tobytes(), ks.tobytes())
+
+
+@lru_cache(maxsize=64)
+def _vgemm_schedule_memo(ms_bytes: bytes, ns_bytes: bytes,
+                         ks_bytes: bytes) -> Schedule:
+    ms = np.frombuffer(ms_bytes, dtype=np.int64)
+    ns = np.frombuffer(ns_bytes, dtype=np.int64)
+    ks = np.frombuffer(ks_bytes, dtype=np.int64)
+    bsz = int(ms.size)
+    batch, i, j = Dim("batch"), Dim("i"), Dim("j")
+    a = input_tensor("A", [batch, Dim("ar"), Dim("ac")],
+                     [ConstExtent(bsz), VarExtent(batch, ms),
+                      VarExtent(batch, ks)])
+    b = input_tensor("B", [batch, Dim("br"), Dim("bc")],
+                     [ConstExtent(bsz), VarExtent(batch, ks),
+                      VarExtent(batch, ns)])
+    axis = reduce_axis(VarExtent(batch, ks), "k")
+    op = compute(
+        "C", [batch, i, j],
+        [ConstExtent(bsz), VarExtent(batch, ms), VarExtent(batch, ns)],
+        lambda bb, ii, jj: sum_reduce(
+            a[bb, ii, LoopVar(axis.dim)] * b[bb, LoopVar(axis.dim), jj], axis),
+    )
+    return Schedule(op)
+
+
+def vgemm_ragged_inputs(a_list: Sequence[np.ndarray],
+                        b_list: Sequence[np.ndarray]) -> Dict[str, RaggedTensor]:
+    """Pack the per-instance matrices into the ragged input tensors of
+    :func:`make_vgemm_schedule`."""
+    ms = np.asarray([a.shape[0] for a in a_list], dtype=np.int64)
+    ks = np.asarray([a.shape[1] for a in a_list], dtype=np.int64)
+    ns = np.asarray([b.shape[1] for b in b_list], dtype=np.int64)
+    bsz = len(a_list)
+    batch = Dim("batch")
+    layout_a = RaggedLayout(
+        [batch, Dim("ar"), Dim("ac")],
+        [ConstExtent(bsz), VarExtent(batch, ms), VarExtent(batch, ks)])
+    layout_b = RaggedLayout(
+        [batch, Dim("br"), Dim("bc")],
+        [ConstExtent(bsz), VarExtent(batch, ks), VarExtent(batch, ns)])
+    return {
+        "A": RaggedTensor.from_slices(layout_a, list(a_list)),
+        "B": RaggedTensor.from_slices(layout_b, list(b_list)),
+    }
+
+
+def vgemm_compiled(a_list: Sequence[np.ndarray], b_list: Sequence[np.ndarray],
+                   backend: str = "vector",
+                   executor: Optional["Executor"] = None,
+                   ) -> Tuple[List[np.ndarray], "ExecutionReport"]:
+    """Run the vgemm batch through the CoRa pipeline (lower, codegen, run).
+
+    ``backend`` selects the code generator (``"vector"`` or ``"scalar"``);
+    pass an :class:`~repro.core.executor.Executor` to share its kernel
+    cache across calls.
+    """
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    ms = [a.shape[0] for a in a_list]
+    ns = [b.shape[1] for b in b_list]
+    ks = [a.shape[1] for a in a_list]
+    schedule = make_vgemm_schedule(ms, ns, ks)
+    out, report = executor.build_and_run(schedule,
+                                         vgemm_ragged_inputs(a_list, b_list))
+    return [out.valid_slice(i) for i in range(len(a_list))], report
 
 
 # -- workload builders (Figure 9) -------------------------------------------------
