@@ -1,48 +1,140 @@
-"""Figure 18: masked scaled dot-product attention (decoder-style masking).
+"""Figure 18 workload, measured on the real compiled kernels.
 
-Compares CoRa-NoPad (triangular computation), CoRa-Pad (inner vloop fully
-padded) and a fully padded PyTorch implementation on the GPU for the RACE
-and MNLI datasets.
+The paper's Figure 18 evaluates masked (decoder-style, causal) scaled
+dot-product attention.  This benchmark runs the actual compiled masked
+SDPA chain -- QK^T, additive triangular mask, the four-kernel ragged
+softmax, AttnV (7 kernels) -- under both codegen backends and verifies
+
+* the compiled chain matches the NumPy oracle
+  ``sdpa_slices(masked=True)`` to float32 tolerance,
+* the vector backend reports **zero fallbacks** over the whole chain
+  (the fallback-rate smoke check wired into CI), and
+* the vector-over-scalar speedup.
+
+Writes a table to ``results/fig18_masked_sdpa.txt`` and a machine-readable
+artifact to ``results/fig18_masked_sdpa.json`` alongside
+``backend_speedup.json``.  Run directly or with ``--smoke`` for the quick
+CI configuration.
 """
 
-from harness import PAPER_BATCH_SIZES, format_row, geomean, gpu_model, write_result
+from __future__ import annotations
 
-from repro.data.datasets import sample_lengths
-from repro.ops.attention import masked_sdpa_workload
+import sys
+import time
 
-STRATEGIES = (("pytorch", "PyTorch"), ("cora-pad", "CoRa-Pad"),
-              ("cora-nopad", "CoRa-NoPad"))
+import numpy as np
 
+from harness import format_row, write_json_result, write_result
 
-def compute_table():
-    model = gpu_model()
-    rows = []
-    for ds in ("RACE", "MNLI"):
-        for bs in PAPER_BATCH_SIZES:
-            lengths = sample_lengths(ds, bs)
-            latencies = {key: model.latency_ms(masked_sdpa_workload(lengths, key))
-                         for key, _ in STRATEGIES}
-            rows.append((ds, bs, latencies))
-    return rows
+from repro.core.executor import Executor
+from repro.ops.attention import random_qkv, sdpa_compiled, sdpa_slices
+from repro.models.config import TransformerConfig
 
 
-def test_fig18_masked_sdpa(benchmark):
-    rows = benchmark(compute_table)
-    widths = (8, 6, 10, 10, 12)
-    lines = ["Figure 18: masked SDPA execution time (ms, simulated V100)",
-             format_row(["dataset", "batch"] + [label for _, label in STRATEGIES],
-                        widths)]
-    for ds, bs, lat in rows:
-        lines.append(format_row([ds, bs] + [lat[k] for k, _ in STRATEGIES], widths))
-    vs_pad = geomean([lat["cora-pad"] / lat["cora-nopad"] for _, _, lat in rows])
-    vs_pt = geomean([lat["pytorch"] / lat["cora-nopad"] for _, _, lat in rows])
-    lines.append("")
-    lines.append(f"CoRa-NoPad speedup over CoRa-Pad: {vs_pad:.2f}x (paper: 1.34x)")
-    lines.append(f"CoRa-NoPad speedup over PyTorch : {vs_pt:.2f}x (paper: 2.46x)")
+def _config(heads: int, head_size: int) -> TransformerConfig:
+    hidden = heads * head_size
+    return TransformerConfig(hidden_size=hidden, num_heads=heads,
+                             head_size=head_size, ff_size=2 * hidden,
+                             num_layers=1)
+
+
+def _time_chain(q, k, v, head_size: int, backend: str, repeats: int):
+    executor = Executor(backend=backend)
+    out = sdpa_compiled(q, k, v, head_size=head_size, executor=executor,
+                        masked=True)  # warm-up compile
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sdpa_compiled(q, k, v, head_size=head_size, executor=executor,
+                      masked=True)
+        best = min(best, time.perf_counter() - t0)
+    return out, best, executor.codegen_stats()
+
+
+def compute_results(smoke: bool = False) -> dict:
+    if smoke:
+        batches = [(4, 4, 10)]
+        heads, head_size, repeats = 2, 4, 2
+    else:
+        batches = [(4, 8, 16), (8, 8, 24)]
+        heads, head_size, repeats = 2, 8, 3
+    config = _config(heads, head_size)
+    cases = []
+    for batch, low, high in batches:
+        rng = np.random.default_rng(batch)
+        lengths = [int(s) for s in rng.integers(low, high + 1, size=batch)]
+        qkv = random_qkv(lengths, config=config, seed=batch)
+        q, k, v = qkv["q"], qkv["k"], qkv["v"]
+        refs = sdpa_slices(q, k, v, head_size=head_size, masked=True)
+        case = {"batch": batch, "lengths": lengths}
+        for backend in ("scalar", "vector"):
+            out, best, stats = _time_chain(q, k, v, head_size, backend,
+                                           repeats)
+            case[f"{backend}_s"] = best
+            case[f"{backend}_correct"] = all(
+                np.allclose(a, b, rtol=1e-4, atol=1e-4)
+                for a, b in zip(out, refs))
+            if backend == "vector":
+                case["kernels_vectorized"] = stats["vectorized"]
+                case["fallbacks"] = stats["fallbacks"]
+                case["fallback_reasons"] = stats["fallback_reasons"]
+        case["speedup"] = case["scalar_s"] / max(case["vector_s"], 1e-12)
+        cases.append(case)
+    return {
+        "workload": "masked-sdpa-compiled",
+        "heads": heads,
+        "head_size": head_size,
+        "smoke": smoke,
+        "cases": cases,
+    }
+
+
+def report(results: dict) -> None:
+    widths = (8, 12, 12, 10, 11, 11, 9)
+    lines = ["Figure 18 workload on real compiled kernels: masked SDPA "
+             "(QK^T + mask + softmax + AttnV, 7 kernels)",
+             format_row(["batch", "scalar ms", "vector ms", "speedup",
+                         "vectorized", "fallbacks", "correct"], widths)]
+    for case in results["cases"]:
+        lines.append(format_row(
+            [case["batch"], case["scalar_s"] * 1e3, case["vector_s"] * 1e3,
+             case["speedup"], case["kernels_vectorized"], case["fallbacks"],
+             str(case["vector_correct"] and case["scalar_correct"])],
+            widths))
     write_result("fig18_masked_sdpa", lines)
-    for _, _, lat in rows:
-        assert lat["cora-nopad"] < lat["cora-pad"] < lat["pytorch"]
-    # The benefit is less pronounced for MNLI (shorter sequences).
-    race = [lat["cora-pad"] / lat["cora-nopad"] for ds, _, lat in rows if ds == "RACE"]
-    mnli = [lat["cora-pad"] / lat["cora-nopad"] for ds, _, lat in rows if ds == "MNLI"]
-    assert geomean(race) > geomean(mnli)
+    write_json_result("fig18_masked_sdpa", results)
+
+
+def check(results: dict) -> list:
+    failures = []
+    for case in results["cases"]:
+        if case["fallbacks"] != 0:
+            failures.append(f"batch {case['batch']}: "
+                            f"{case['fallbacks']} fallbacks "
+                            f"({case['fallback_reasons']})")
+        if not (case["vector_correct"] and case["scalar_correct"]):
+            failures.append(f"batch {case['batch']}: "
+                            "mismatch vs sdpa_slices(masked=True)")
+    return failures
+
+
+def test_fig18_masked_sdpa():
+    results = compute_results(smoke=False)
+    report(results)
+    failures = check(results)
+    assert not failures, failures
+    assert all(case["speedup"] > 1.0 for case in results["cases"])
+
+
+def main(argv) -> int:
+    results = compute_results(smoke="--smoke" in argv)
+    report(results)
+    failures = check(results)
+    if failures:
+        print(f"FAILED: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -69,6 +69,8 @@ class GeneratedKernel:
     source: str
     fn: object
     backend: str = "scalar"
+    #: why a vector-backend request fell back to scalar (``None`` otherwise)
+    fallback_reason: Optional[str] = None
 
     def __call__(self, buffers: Dict[str, np.ndarray], aux: Dict[str, np.ndarray]) -> None:
         self.fn(buffers, aux)

@@ -2,29 +2,63 @@
 
 Where the scalar backend (:mod:`repro.core.codegen`) emits one Python
 ``for`` statement per loop and one flat-buffer load per access, this
-backend keeps only the outermost (governing) loop as a Python loop and
-collapses everything inside it into NumPy operations:
+backend collapses the lowered loop nest into NumPy operations.  It has two
+emission modes:
 
-* each ragged tensor's per-instance slice is materialised as a dense
-  ndarray *view* of the flat buffer, addressed through the prelude-built
-  row-offset and stride auxiliary arrays (the whole row at once, not one
-  element at a time);
-* constant- and table-bound inner loops become broadcast axes;
-* ``sum`` reductions over a product of tensor accesses become a single
-  ``np.einsum`` (which dispatches matmul-shaped contractions to BLAS);
-* other reductions become ``.sum()`` / ``.max()`` / ``.min()`` over a
-  broadcast body.
+* **bucketed governing loop** (the common case): governing-loop indices are
+  grouped into *buckets* of identical raggedness signature (identical bound
+  -table and storage-shape entries, see
+  :func:`repro.core.prelude.bucket_by_signature`).  Each bucket executes as
+  one stacked operation -- the ragged slices are gathered into a dense
+  ``(bucket, ...)`` array, inner and reduction loops become broadcast axes
+  or a single ``np.einsum`` (which dispatches matmul-shaped contractions to
+  BLAS, batched over the bucket axis), and the result is scattered back.
+  The remaining Python loop is O(distinct signatures), not O(batch).
+* **flat fused gather**: a fused governing vloop (``fuse_loops`` of the
+  governing cloop with its vloop) executes as a single flat gather over the
+  prelude's ``ffo`` / ``ffi`` fusion maps -- no Python loop at all.
 
-The backend only handles the subset of lowered kernels it can translate
-faithfully: no guards, no thread remaps, no fused loops, no split loops,
-and table bounds governed by the outermost loop.  Anything else raises
-:class:`VectorizeError` and :class:`VectorBackend` transparently falls
-back to the scalar backend, which is why the scalar emitter stays the
-reference implementation for differential testing.
+Construct coverage (the matrix below is asserted by the differential tests
+in ``tests/test_codegen_vector.py``):
+
+============================  =========  =====================================
+construct                     backend    how
+============================  =========  =====================================
+constant / table inner loops  vector     broadcast axes / slice bounds
+sum / max / min reductions    vector     ``einsum`` or broadcast + reduce
+guarded split vloops          vector     split pair collapsed back to the
+                                         original domain; the guard becomes
+                                         the trailing slice ``[:bound]``
+unguarded (padded) splits     vector     collapsed, bound = tiles * factor
+fused governing vloops        vector     flat gather through ``ffo``/``ffi``
+thread remaps                 vector     order-only: stores are disjoint, so
+                                         the permutation is a no-op for the
+                                         result (noted in the source)
+table-bound governing chains  vector     bucketed by bound signature
+masked (triangular) SDPA      vector     mask-add operator + softmax chain
+                                         (see ``repro.ops.softmax``)
+loop pad > storage pad        scalar     slice would silently truncate
+diagonal accesses A[b, i, i]  scalar     needs a gather per element
+nested splits                 scalar     split of a split-derived loop
+non-governing loop fusion     scalar     fusion maps assume the governing dim
+variable bounds under fusion  scalar     per-f bounds break rectangularity
+remap on variable inner loop  scalar     permutation outruns the bound
+============================  =========  =====================================
+
+Anything in the ``scalar`` rows raises :class:`VectorizeError` and
+:class:`VectorBackend` transparently falls back to the scalar backend
+(recording the reason), which is why the scalar emitter stays the reference
+implementation for differential testing.
+
+Bucketing note: buckets are computed at *compile* time from the lowered
+kernel's auxiliary arrays (they are baked into the kernel, so the grouping
+can never go stale) and injected into the kernel namespace as ``_BUCKETS``.
 """
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,7 +81,8 @@ from repro.core.ir import (
     TensorAccess,
     reductions_in,
 )
-from repro.core.lowering import BoundSpec, LoweredKernel, TensorPlan
+from repro.core.lowering import BoundSpec, LoweredKernel, LoopSpec, TensorPlan
+from repro.core.prelude import bucket_by_signature
 
 _NP_INTRINSICS = {
     "exp": "np.exp",
@@ -61,20 +96,57 @@ class VectorizeError(LoweringError):
     """The lowered kernel contains a construct this backend cannot vectorize."""
 
 
-def _slice_view(buf: np.ndarray, row_offsets: np.ndarray,
-                shapes: np.ndarray, b: int) -> np.ndarray:
-    """Dense ndarray view of ragged slice ``b`` of a flat buffer.
+# ---------------------------------------------------------------------------
+# Runtime helpers (injected into the generated kernel's namespace)
+# ---------------------------------------------------------------------------
 
-    The slice of governing index ``b`` starts at ``row_offsets[b]`` and is
-    packed row-major with the (storage-padded) per-instance shape recorded
-    by the prelude in ``shapes[b]``.
+
+def _gather_slices(buf: np.ndarray, row_offsets: np.ndarray,
+                   shapes: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Stack the ragged slices at governing indices ``idx``.
+
+    All indexed slices must share one (storage-padded) shape -- guaranteed
+    by signature bucketing.  A single-instance bucket returns a zero-copy
+    view; larger buckets gather into a dense ``(len(idx), *shape)`` array.
     """
-    start = int(row_offsets[b])
-    shape = tuple(int(s) for s in shapes[b])
+    shape = tuple(int(s) for s in shapes[idx[0]])
     size = 1
     for s in shape:
         size *= s
-    return buf[start:start + size].reshape(shape)
+    if idx.size == 1:
+        start = int(row_offsets[idx[0]])
+        return buf[start:start + size].reshape((1,) + shape)
+    flat = buf[row_offsets[idx][:, None] + np.arange(size)[None, :]]
+    return flat.reshape((idx.size,) + shape)
+
+
+def _scatter_slices(buf: np.ndarray, row_offsets: np.ndarray,
+                    shapes: np.ndarray, idx: np.ndarray,
+                    bounds: Tuple[int, ...], values: np.ndarray) -> None:
+    """Scatter ``values`` into the ``[:b1, :b2, ...]`` region of each slice.
+
+    The inverse of :func:`_gather_slices` restricted to the loop-bounded
+    region (the vectorized equivalent of a guard: elements past the bounds
+    are never touched).
+    """
+    shape = tuple(int(s) for s in shapes[idx[0]])
+    strides = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    if idx.size == 1:
+        start = int(row_offsets[idx[0]])
+        size = 1
+        for s in shape:
+            size *= s
+        view = buf[start:start + size].reshape(shape)
+        view[tuple(slice(0, int(b)) for b in bounds)] = values[0]
+        return
+    off = row_offsets[idx].reshape((idx.size,) + (1,) * len(bounds))
+    for axis, n in enumerate(bounds):
+        view = [1] * (len(bounds) + 1)
+        view[axis + 1] = int(n)
+        off = off + np.arange(int(n)).reshape(view) * strides[axis]
+    buf[off] = values
 
 
 def _flatten_product(expr: Expr):
@@ -93,16 +165,50 @@ def _flatten_product(expr: Expr):
     return None
 
 
+@dataclass
+class _VecBound:
+    """An effective loop bound: a :class:`BoundSpec` times a constant scale.
+
+    The scale collapses an unguarded split pair back into its original
+    domain (``tiles * factor``); guarded pairs use the guard bound with
+    scale 1 (the guard *is* the original domain).
+    """
+
+    base: BoundSpec
+    scale: int = 1
+
+    @property
+    def is_const(self) -> bool:
+        return self.base.is_const
+
+    def const_value(self) -> int:
+        return int(self.base.value) * self.scale
+
+    def values(self, kernel: LoweredKernel) -> np.ndarray:
+        if self.base.is_const:
+            return np.asarray([self.const_value()], dtype=np.int64)
+        table = np.asarray(kernel.aux_arrays[self.base.table_name],
+                           dtype=np.int64)
+        return table * self.scale
+
+
 class VectorCodeGenerator:
     """Emits the vectorized Python source for one lowered kernel."""
 
     def __init__(self, kernel: LoweredKernel):
         self.kernel = kernel
+        #: synthetic leading axis: the bucket axis (loop mode) or the fused
+        #: iteration axis (fused mode)
+        self._stack_dim = Dim("stack")
         self._analyze()
         #: id(Reduce) -> code of its (out-context aligned) temporary
         self._reduce_code: Dict[int, str] = {}
         #: dims of the per-instance loop index arrays already emitted
         self._index_arrays: Dict[Dim, str] = {}
+        self._gov_value_var: Optional[str] = None
+        self._inner_value_var: Optional[str] = None
+        self._buckets_cache: Optional[List[np.ndarray]] = None
+        self._fused_lengths_cache: Optional[np.ndarray] = None
 
     # -- analysis ------------------------------------------------------------
 
@@ -110,31 +216,17 @@ class VectorCodeGenerator:
         kernel = self.kernel
         if not kernel.loops:
             raise VectorizeError("kernel has no loops")
-        if kernel.output_dims_fused:
-            raise VectorizeError("fused output dimensions are not vectorized")
         gov = kernel.loops[0]
+        if gov.guard is not None:
+            raise VectorizeError("outer loop carries a guard")
         if not gov.bound.is_const:
             raise VectorizeError("outer loop bound must be constant")
-        if gov.guard or gov.remap_name or gov.fusion:
-            raise VectorizeError("outer loop carries a guard/remap/fusion")
-        self.gov_dim = gov.dim
-        self.gov_count = gov.bound.value
-        for loop in kernel.loops[1:]:
-            if loop.guard or loop.remap_name or loop.fusion:
-                raise VectorizeError(
-                    f"loop {loop.dim.name} carries a guard/remap/fusion"
-                )
-            self._check_bound(loop.bound, loop.dim)
-        self.inner_dims: Tuple[Dim, ...] = tuple(l.dim for l in kernel.loops[1:])
-        if kernel.output_dims[0] is not self.gov_dim:
-            raise VectorizeError("outer loop is not the output governing dim")
-        if set(kernel.output_dims[1:]) != set(self.inner_dims):
-            raise VectorizeError(
-                "loop dims do not map 1:1 onto output dims (split/fused loops)"
-            )
-        self.reduce_dims: Tuple[Dim, ...] = tuple(kernel.reduction_bounds)
-        for dim, bound in kernel.reduction_bounds.items():
-            self._check_bound(bound, dim)
+        if gov.fusion is not None:
+            self.mode = "fused"
+            self._analyze_fused(gov)
+        else:
+            self.mode = "loop"
+            self._analyze_loop(gov)
         reduces = reductions_in(kernel.body)
         for red in reduces:
             if red.combiner not in ("sum", "max", "min"):
@@ -143,13 +235,121 @@ class VectorCodeGenerator:
                 raise VectorizeError("nested reductions are not vectorized")
         self.reduces = reduces
         # Per-dim bound variable names (collision-safe).
-        self._bound_var: Dict[Dim, str] = {}
+        self._bound_var: Dict[Dim, str] = {
+            self._stack_dim: "_nb" if self.mode == "loop" else "_F",
+        }
         taken: Dict[str, Dim] = {}
         for dim in self.inner_dims + self.reduce_dims:
             base = f"_n_{self._safe(dim.name)}"
             name = base if taken.get(base, dim) is dim else f"{base}_{dim.uid}"
             taken[name] = dim
             self._bound_var[dim] = name
+
+    def _analyze_loop(self, gov: LoopSpec) -> None:
+        kernel = self.kernel
+        if kernel.output_dims_fused:
+            raise VectorizeError(
+                "fused output dimensions without a fused governing loop")
+        if gov.split is not None:
+            raise VectorizeError("the governing loop itself is split")
+        self.gov_dim = gov.dim
+        self.gov_count = gov.bound.value
+        if kernel.output_dims[0] is not self.gov_dim:
+            raise VectorizeError("outer loop is not the output governing dim")
+        # Collapse split pairs back into their original dims; everything else
+        # maps 1:1.  ``eff`` keeps loop order (split pairs at first member).
+        eff: Dict[Dim, Optional[_VecBound]] = {}
+        pending: Dict[Dim, Dict[str, LoopSpec]] = {}
+        for loop in kernel.loops[1:]:
+            if loop.fusion is not None:
+                raise VectorizeError(
+                    f"inner loop {loop.dim.name} is fused")
+            if loop.remap_name is not None and not loop.bound.is_const:
+                raise VectorizeError(
+                    f"thread remap on variable inner loop {loop.dim.name}")
+            if loop.split is None:
+                if loop.guard is not None:
+                    raise VectorizeError(
+                        f"guard on unsplit loop {loop.dim.name}")
+                self._check_bound(loop.bound, loop.dim)
+                eff[loop.dim] = _VecBound(loop.bound)
+                continue
+            link = loop.split
+            if link.original not in kernel.output_dims:
+                raise VectorizeError("nested loop splits are not vectorized")
+            pending.setdefault(link.original, {})[link.role] = loop
+            eff.setdefault(link.original, None)
+        for orig, group in pending.items():
+            if "outer" not in group or "inner" not in group:
+                raise VectorizeError(
+                    f"split of {orig.name} is only partially in the nest")
+            outer, inner = group["outer"], group["inner"]
+            if outer.guard is not None:
+                raise VectorizeError("guard attached to the outer split loop")
+            factor = outer.split.factor
+            guard = inner.guard
+            if guard is not None:
+                if (guard.outer_var_dim is not outer.dim
+                        or guard.inner_var_dim is not inner.dim
+                        or guard.factor != factor):
+                    raise VectorizeError("guard does not match its split pair")
+                self._check_bound(guard.bound, orig)
+                eff[orig] = _VecBound(guard.bound)
+            else:
+                if not inner.bound.is_const or inner.bound.value != factor:
+                    raise VectorizeError(
+                        "inner split bound is not the split factor")
+                self._check_bound(outer.bound, orig)
+                eff[orig] = _VecBound(outer.bound, scale=factor)
+        self.inner_dims: Tuple[Dim, ...] = tuple(eff.keys())
+        self._eff_bounds: Dict[Dim, _VecBound] = eff  # type: ignore[assignment]
+        if set(kernel.output_dims[1:]) != set(self.inner_dims):
+            raise VectorizeError(
+                "loop dims do not map 1:1 onto output dims")
+        self.reduce_dims: Tuple[Dim, ...] = tuple(kernel.reduction_bounds)
+        self._red_bounds: Dict[Dim, _VecBound] = {}
+        for dim, bound in kernel.reduction_bounds.items():
+            self._check_bound(bound, dim)
+            self._red_bounds[dim] = _VecBound(bound)
+
+    def _analyze_fused(self, gov: LoopSpec) -> None:
+        kernel = self.kernel
+        fusion = gov.fusion
+        self.fused_extent = gov.bound.value
+        self.map_name = fusion.map_name
+        self.gov_dim = fusion.outer_dim
+        self.inner_fused_dim = fusion.inner_dim
+        if (kernel.output_dims[0] is not fusion.outer_dim
+                or len(kernel.output_dims) < 2
+                or kernel.output_dims[1] is not fusion.inner_dim):
+            raise VectorizeError(
+                "fused loop does not cover the two leading output dims")
+        eff: Dict[Dim, _VecBound] = {}
+        for loop in kernel.loops[1:]:
+            if loop.guard or loop.fusion or loop.split:
+                raise VectorizeError(
+                    f"loop {loop.dim.name} carries a guard/fusion/split "
+                    "under a fused governing loop")
+            if not loop.bound.is_const:
+                raise VectorizeError(
+                    "variable inner bound under a fused governing loop")
+            eff[loop.dim] = _VecBound(loop.bound)
+        self.inner_dims = tuple(eff.keys())
+        self._eff_bounds = eff
+        if set(kernel.output_dims[2:]) != set(self.inner_dims):
+            raise VectorizeError("loop dims do not map 1:1 onto output dims")
+        self.reduce_dims = tuple(kernel.reduction_bounds)
+        self._red_bounds = {}
+        for dim, bound in kernel.reduction_bounds.items():
+            if not bound.is_const:
+                raise VectorizeError(
+                    "variable reduction bound under a fused governing loop")
+            self._red_bounds[dim] = _VecBound(bound)
+        if kernel.output_dims_fused:
+            total = int(kernel.output_plan.layout.dense_shape()[0])
+            if total != self.fused_extent:
+                raise VectorizeError(
+                    "fused loop extent differs from fused storage extent")
 
     def _check_bound(self, bound: BoundSpec, dim: Dim) -> None:
         if not bound.is_const and bound.governing is not self.gov_dim:
@@ -158,15 +358,49 @@ class VectorCodeGenerator:
                 "not the outermost loop"
             )
 
+    def _vb_of(self, dim: Dim) -> _VecBound:
+        vb = self._eff_bounds.get(dim)
+        if vb is None:
+            vb = self._red_bounds.get(dim)
+        if vb is None:
+            raise VectorizeError(f"{dim.name} is not a vectorized loop")
+        return vb
+
     # -- public API -----------------------------------------------------------
 
     def generate(self) -> GeneratedKernel:
         source = self.generate_source()
-        namespace: Dict[str, object] = {"np": np, "_slice_view": _slice_view}
+        namespace: Dict[str, object] = {
+            "np": np,
+            "_gather_slices": _gather_slices,
+            "_scatter_slices": _scatter_slices,
+        }
+        if self.mode == "loop":
+            namespace["_BUCKETS"] = self._buckets()
         exec(compile(source, f"<cora-vec:{self.kernel.name}>", "exec"), namespace)
         fn = namespace[self._fn_name()]
         return GeneratedKernel(name=self.kernel.name, source=source, fn=fn,
                                backend="vector")
+
+    def _buckets(self) -> List[np.ndarray]:
+        if self._buckets_cache is None:
+            arrays = [self.kernel.aux_arrays[n]
+                      for n in self._signature_tables()]
+            self._buckets_cache = bucket_by_signature(self.gov_count, arrays)
+        return self._buckets_cache
+
+    def _signature_tables(self) -> List[str]:
+        names: List[str] = []
+        for vb in list(self._eff_bounds.values()) + list(self._red_bounds.values()):
+            if not vb.base.is_const:
+                names.append(vb.base.table_name)
+        for name in self._accessed_tensors():
+            plan = self.kernel.input_plans[name]
+            if plan.is_ragged:
+                names.append(plan.shape_name)
+        if self.kernel.output_plan.is_ragged:
+            names.append(self.kernel.output_plan.shape_name)
+        return list(dict.fromkeys(names))
 
     @staticmethod
     def _safe(name: str) -> str:
@@ -192,10 +426,13 @@ class VectorCodeGenerator:
                 em.emit(f"_buf_{self._safe(name)} = buffers[{name!r}]")
         for name in sorted(self._aux_names_used()):
             em.emit(f"_aux_{self._safe(name)} = aux[{name!r}]")
-        # Dense tensors are reshaped once, outside the instance loop.
+        # Dense tensors are reshaped once, outside any instance loop.  In
+        # fused mode the reshape is skipped only when *every* access to the
+        # tensor goes through the flat-gather path instead.
         for name in accessed:
             plan = kernel.input_plans[name]
-            if not plan.is_ragged:
+            if not plan.is_ragged and (
+                    self.mode != "fused" or self._dense_needs_nd(name)):
                 shape = ", ".join(str(s) for s in plan.layout.dense_shape())
                 em.emit(f"_nd_{self._safe(name)} = "
                         f"_buf_{self._safe(name)}.reshape({shape})")
@@ -203,14 +440,48 @@ class VectorCodeGenerator:
             shape = ", ".join(str(s) for s in kernel.output_plan.layout.dense_shape())
             em.emit(f"_nd_{self._safe(out_name)} = "
                     f"_buf_{self._safe(out_name)}.reshape({shape})")
-        em.emit(f"for _b in range({self.gov_count}):")
-        em.push()
-        self._emit_bounds(em)
-        self._emit_views(em, accessed)
-        self._emit_body(em)
-        em.pop()
+        if self.mode == "fused":
+            self._emit_fused_prolog(em)
+            self._emit_body(em)
+        else:
+            gov = kernel.loops[0]
+            if gov.remap_name is not None:
+                em.emit(f"# thread remap {gov.remap_name!r} is execution-order "
+                        "only; bucketed stores are order-independent")
+            em.emit(f"# {len(self._buckets()) if self._have_aux() else '?'} "
+                    f"instance bucket(s) over {self.gov_count} governing "
+                    "indices")
+            em.emit("for _bs in _BUCKETS:")
+            em.push()
+            em.emit("_nb = _bs.size")
+            em.emit("_b0 = int(_bs[0])")
+            self._emit_bounds(em)
+            self._emit_views(em, accessed)
+            self._emit_body(em)
+            em.pop()
         em.pop()
         return em.source()
+
+    def _have_aux(self) -> bool:
+        try:
+            for name in self._signature_tables():
+                self.kernel.aux_arrays[name]
+            return True
+        except KeyError:
+            return False
+
+    def _dense_needs_nd(self, name: str) -> bool:
+        """Whether any fused-mode access to dense tensor ``name`` takes the
+        plain ``_nd_`` slicing path (no fused outer/inner index) -- such
+        accesses need the reshaped view even when other accesses to the
+        same tensor go through the flat gather."""
+        for expr in self._walk(self.kernel.body):
+            if isinstance(expr, TensorAccess) and expr.tensor.name == name:
+                if not any(isinstance(idx, LoopVar)
+                           and idx.dim in (self.gov_dim, self.inner_fused_dim)
+                           for idx in expr.indices):
+                    return True
+        return False
 
     def _accessed_tensors(self) -> List[str]:
         seen: List[str] = []
@@ -240,64 +511,102 @@ class VectorCodeGenerator:
 
     def _aux_names_used(self) -> List[str]:
         names: List[str] = []
-        for loop in self.kernel.loops[1:]:
-            if not loop.bound.is_const:
-                names.append(loop.bound.table_name)
-        for bound in self.kernel.reduction_bounds.values():
-            if not bound.is_const:
-                names.append(bound.table_name)
+        if self.mode == "fused":
+            names.extend([f"{self.map_name}_ffo", f"{self.map_name}_ffi"])
+        for vb in list(self._eff_bounds.values()) + list(self._red_bounds.values()):
+            if not vb.base.is_const:
+                names.append(vb.base.table_name)
         for name in self._accessed_tensors():
             plan = self.kernel.input_plans[name]
             if plan.is_ragged:
-                names.extend([plan.row_name, plan.shape_name])
-        if self.kernel.output_plan.is_ragged:
-            names.extend([self.kernel.output_plan.row_name,
-                          self.kernel.output_plan.shape_name])
+                if self.mode == "fused":
+                    names.extend([plan.row_name, plan.stride_name])
+                else:
+                    names.extend([plan.row_name, plan.shape_name])
+        out_plan = self.kernel.output_plan
+        if out_plan.is_ragged:
+            if self.mode == "fused":
+                names.extend([out_plan.row_name, out_plan.stride_name])
+            else:
+                names.extend([out_plan.row_name, out_plan.shape_name])
         return list(dict.fromkeys(names))
+
+    # -- bounds / views --------------------------------------------------------
+
+    def _vb_code(self, vb: _VecBound) -> str:
+        if vb.is_const:
+            return str(vb.const_value())
+        code = f"int(_aux_{self._safe(vb.base.table_name)}[_b0])"
+        if vb.scale != 1:
+            code = f"{code} * {vb.scale}"
+        return code
 
     def _emit_bounds(self, em: _Emitter) -> None:
         for dim in self.inner_dims:
-            loop = next(l for l in self.kernel.loops[1:] if l.dim is dim)
-            em.emit(f"{self._bound_var[dim]} = {self._bound_code(loop.bound)}")
-        for dim, bound in self.kernel.reduction_bounds.items():
-            em.emit(f"{self._bound_var[dim]} = {self._bound_code(bound)}")
-
-    def _bound_code(self, bound: BoundSpec) -> str:
-        if bound.is_const:
-            return str(bound.value)
-        return f"int(_aux_{self._safe(bound.table_name)}[_b])"
+            em.emit(f"{self._bound_var[dim]} = "
+                    f"{self._vb_code(self._eff_bounds[dim])}")
+        for dim in self.reduce_dims:
+            em.emit(f"{self._bound_var[dim]} = "
+                    f"{self._vb_code(self._red_bounds[dim])}")
 
     def _emit_views(self, em: _Emitter, accessed: Sequence[str]) -> None:
         for name in accessed:
             plan = self.kernel.input_plans[name]
             if plan.is_ragged:
-                em.emit(self._view_assignment(name, plan))
-        out_plan = self.kernel.output_plan
-        if out_plan.is_ragged:
-            em.emit(self._view_assignment(out_plan.spec.name, out_plan))
+                safe = self._safe(name)
+                em.emit(f"_v_{safe} = _gather_slices(_buf_{safe}, "
+                        f"_aux_{self._safe(plan.row_name)}, "
+                        f"_aux_{self._safe(plan.shape_name)}, _bs)")
 
-    def _view_assignment(self, name: str, plan: TensorPlan) -> str:
-        safe = self._safe(name)
-        return (f"_v_{safe} = _slice_view(_buf_{safe}, "
-                f"_aux_{self._safe(plan.row_name)}, "
-                f"_aux_{self._safe(plan.shape_name)}, _b)")
+    def _emit_fused_prolog(self, em: _Emitter) -> None:
+        em.emit(f"_F = {self.fused_extent}")
+        em.emit(f"_ffo = _aux_{self._safe(self.map_name + '_ffo')}")
+        em.emit(f"_ffi = _aux_{self._safe(self.map_name + '_ffi')}")
+        for dim in self.inner_dims:
+            em.emit(f"{self._bound_var[dim]} = "
+                    f"{self._vb_code(self._eff_bounds[dim])}")
+        for dim in self.reduce_dims:
+            em.emit(f"{self._bound_var[dim]} = "
+                    f"{self._vb_code(self._red_bounds[dim])}")
+        # Index arrays double as gather-offset components.
+        for dim in self.inner_dims + self.reduce_dims:
+            var = "_ix" + self._bound_var[dim][2:]
+            em.emit(f"{var} = np.arange({self._bound_var[dim]})")
+            self._index_arrays[dim] = var
 
     # -- body -----------------------------------------------------------------
 
+    def _ctx_out(self) -> Tuple[Dim, ...]:
+        return (self._stack_dim,) + self.inner_dims
+
     def _emit_body(self, em: _Emitter) -> None:
-        ctx_out = self.inner_dims
+        ctx_out = self._ctx_out()
         self._reduce_code = {}
-        self._index_arrays = {}
-        # Loop variables used as *values* in the body become arange arrays.
-        # (Loop variables inside tensor-access indices become slices instead,
-        # so the walk does not descend into accesses.)
+        if self.mode == "loop":
+            self._index_arrays = {}
+        self._gov_value_var = None
+        self._inner_value_var = None
+        # Loop variables used as *values* in the body become arange arrays
+        # (governing-loop values become per-instance index arrays).  The walk
+        # does not descend into accesses: loop variables inside tensor-access
+        # indices become slices / gather offsets instead.
         for expr in self._walk_values(self.kernel.body):
-            if (isinstance(expr, LoopVar) and expr.dim is not self.gov_dim
-                    and expr.dim in self._bound_var
-                    and expr.dim not in self._index_arrays):
-                var = "_ix" + self._bound_var[expr.dim][2:]
-                em.emit(f"{var} = np.arange({self._bound_var[expr.dim]})")
-                self._index_arrays[expr.dim] = var
+            if not isinstance(expr, LoopVar):
+                continue
+            dim = expr.dim
+            if dim is self.gov_dim and self._gov_value_var is None:
+                self._gov_value_var = "_ixb"
+                src = "_bs" if self.mode == "loop" else "_ffo"
+                em.emit(f"_ixb = {src}.astype(np.float64)")
+            elif (self.mode == "fused" and dim is self.inner_fused_dim
+                    and self._inner_value_var is None):
+                self._inner_value_var = "_ixf"
+                em.emit("_ixf = _ffi.astype(np.float64)")
+            elif (dim in self._bound_var and dim is not self._stack_dim
+                    and dim not in self._index_arrays):
+                var = "_ix" + self._bound_var[dim][2:]
+                em.emit(f"{var} = np.arange({self._bound_var[dim]})")
+                self._index_arrays[dim] = var
         for i, red in enumerate(self.reduces):
             self._emit_reduce(em, red, f"_red{i}", ctx_out)
         value_code = self._expr_code(self.kernel.body, ctx_out)
@@ -352,7 +661,8 @@ class VectorCodeGenerator:
         consts, accesses = flattened
         if not accesses:
             return False
-        operand_dims = [self._access_dims(a) for a in accesses]
+        infos = [self._access_info(a) for a in accesses]
+        operand_dims = [dims for _, dims in infos]
         union: List[Dim] = []
         for dims in operand_dims:
             for d in dims:
@@ -375,7 +685,7 @@ class VectorCodeGenerator:
                         for dims in operand_dims)
         out_dims = [d for d in ctx_out if d in union and d not in axes]
         out_sub = "".join(letters[d] for d in out_dims)
-        operands = ", ".join(self._access_raw_code(a) for a in accesses)
+        operands = ", ".join(code for code, _ in infos)
         scale = ""
         factor = float(np.prod(consts)) if consts else 1.0
         if factor != 1.0:
@@ -419,13 +729,21 @@ class VectorCodeGenerator:
                 raise VectorizeError(f"unknown intrinsic {expr.fn!r}")
             return f"{fn}({args})"
         if isinstance(expr, TensorAccess):
-            dims = self._access_dims(expr)
-            return self._aligned_code(self._access_raw_code(expr), dims, ctx)
+            code, dims = self._access_info(expr)
+            return self._aligned_code(code, dims, ctx)
         raise VectorizeError(f"cannot vectorize expression {expr!r}")
 
     def _loop_var_code(self, dim: Dim, ctx: Tuple[Dim, ...]) -> str:
         if dim is self.gov_dim:
-            return "float(_b)"
+            if self._gov_value_var is None:
+                raise VectorizeError("governing index array was not emitted")
+            return self._aligned_code(self._gov_value_var,
+                                      (self._stack_dim,), ctx)
+        if self.mode == "fused" and dim is self.inner_fused_dim:
+            if self._inner_value_var is None:
+                raise VectorizeError("fused index array was not emitted")
+            return self._aligned_code(self._inner_value_var,
+                                      (self._stack_dim,), ctx)
         if dim not in ctx:
             raise VectorizeError(
                 f"loop variable {dim.name} is not available here"
@@ -439,70 +757,225 @@ class VectorCodeGenerator:
 
     # -- tensor accesses --------------------------------------------------------
 
-    def _access_dims(self, access: TensorAccess) -> Tuple[Dim, ...]:
-        """Non-governing loop/reduction dims indexing ``access``, in axis order."""
-        dims: List[Dim] = []
-        for idx in access.indices:
-            if isinstance(idx, LoopVar) and idx.dim is not self.gov_dim:
-                if idx.dim in dims:
-                    # Diagonal accesses (A[b, i, i]) would need a gather,
-                    # not a slice view; leave them to the scalar backend.
-                    raise VectorizeError(
-                        f"access to {access.tensor.name!r} indexes "
-                        f"{idx.dim.name} more than once"
-                    )
-                dims.append(idx.dim)
-        return tuple(dims)
+    def _access_info(self, access: TensorAccess) -> Tuple[str, Tuple[Dim, ...]]:
+        """Code + axis dims for an access.
 
-    def _access_raw_code(self, access: TensorAccess) -> str:
-        """Code for the access as an array whose axes follow the tensor's own
-        axis order (governing and constant indices collapsed)."""
+        The returned dims follow the produced array's axis order; the stack
+        sentinel marks the bucket / fused axis.
+        """
         plan = self.kernel.input_plans.get(access.tensor.name)
         if plan is None:
             raise VectorizeError(
                 f"access to unknown tensor {access.tensor.name!r}"
             )
+        if self.mode == "fused":
+            return self._access_info_fused(access, plan)
+        return self._access_info_loop(access, plan)
+
+    def _access_info_loop(self, access: TensorAccess,
+                          plan: TensorPlan) -> Tuple[str, Tuple[Dim, ...]]:
+        indices = access.indices
         if plan.is_ragged:
-            first = access.indices[0]
+            first = indices[0]
             if not (isinstance(first, LoopVar) and first.dim is self.gov_dim):
                 raise VectorizeError(
                     f"ragged access to {access.tensor.name!r} is not "
                     "governed by the outer loop"
                 )
-            indices = access.indices[1:]
+            inner_indices = indices[1:]
+            dims: List[Dim] = [self._stack_dim]
+            subs: List[str] = [":"]
+            col_base = 0
         else:
-            indices = access.indices
-        for col, idx in enumerate(indices):
-            self._check_index_fits(plan, col, idx)
-        subs = [self._index_sub(idx, access) for idx in indices]
+            inner_indices = indices
+            dims = []
+            subs = []
+            col_base = 0
+        for col, idx in enumerate(inner_indices):
+            self._check_index_fits(plan, col_base + col, idx)
+            if isinstance(idx, Const):
+                subs.append(str(int(idx.value)))
+                continue
+            if not isinstance(idx, LoopVar):
+                raise VectorizeError(
+                    f"unsupported index expression {idx!r} on "
+                    f"{access.tensor.name!r}"
+                )
+            if idx.dim is self.gov_dim:
+                d: Dim = self._stack_dim
+                subs.append("_bs")
+            else:
+                var = self._bound_var.get(idx.dim)
+                if var is None:
+                    raise VectorizeError(
+                        f"access to {access.tensor.name!r} indexes "
+                        f"{idx.dim.name}, which is not a vectorized loop"
+                    )
+                d = idx.dim
+                subs.append(f":{var}")
+            if d in dims:
+                # Diagonal accesses (A[b, i, i]) would need a per-element
+                # gather; leave them to the scalar backend.
+                raise VectorizeError(
+                    f"access to {access.tensor.name!r} indexes "
+                    f"{d.name} more than once"
+                )
+            dims.append(d)
         prefix = "_v_" if plan.is_ragged else "_nd_"
         name = f"{prefix}{self._safe(access.tensor.name)}"
-        return f"{name}[{', '.join(subs)}]" if subs else name
+        code = f"{name}[{', '.join(subs)}]" if subs else name
+        return code, tuple(dims)
 
-    def _bound_of(self, dim: Dim) -> BoundSpec:
-        for loop in self.kernel.loops[1:]:
-            if loop.dim is dim:
-                return loop.bound
-        bound = self.kernel.reduction_bounds.get(dim)
-        if bound is None:
-            raise VectorizeError(f"{dim.name} is not a vectorized loop")
-        return bound
+    # -- fused-mode gathers ------------------------------------------------------
 
-    def _bound_values(self, bound: BoundSpec) -> np.ndarray:
-        if bound.is_const:
-            return np.asarray([bound.value], dtype=np.int64)
-        return np.asarray(self.kernel.aux_arrays[bound.table_name],
-                          dtype=np.int64)
+    def _fused_lengths(self) -> np.ndarray:
+        """Per-governing-index fused (loop-padded) lengths, from the maps."""
+        if self._fused_lengths_cache is None:
+            ffo = np.asarray(self.kernel.aux_arrays[f"{self.map_name}_ffo"])
+            row = np.asarray(self.kernel.aux_arrays[f"{self.map_name}_row"])
+            total = int(ffo.size)
+            self._fused_lengths_cache = np.diff(
+                np.concatenate([row, [total]])).astype(np.int64)
+        return self._fused_lengths_cache
+
+    def _access_info_fused(self, access: TensorAccess,
+                           plan: TensorPlan) -> Tuple[str, Tuple[Dim, ...]]:
+        indices = access.indices
+        uses_stack = any(
+            isinstance(i, LoopVar) and i.dim in (self.gov_dim,
+                                                 self.inner_fused_dim)
+            for i in indices)
+        if not plan.is_ragged and not uses_stack:
+            # Fused-index-free dense access: plain slicing, no gather.
+            return self._access_info_loop(access, plan)
+        if plan.is_ragged:
+            first = indices[0]
+            if not (isinstance(first, LoopVar) and first.dim is self.gov_dim):
+                raise VectorizeError(
+                    f"ragged access to {access.tensor.name!r} is not "
+                    "governed by the fused outer dim"
+                )
+        return self._fused_gather_code(access, plan)
+
+    def _check_fused_col_fits(self, plan: TensorPlan, col: int,
+                              needed: np.ndarray) -> None:
+        if plan.is_ragged:
+            available = np.asarray(
+                self.kernel.aux_arrays[plan.shape_name][:, col],
+                dtype=np.int64)
+        else:
+            available = np.asarray([plan.layout.dense_shape()[col]],
+                                   dtype=np.int64)
+        self._compare_fit(needed, available, plan, col)
+
+    def _fused_gather_code(self, access: TensorAccess,
+                           plan: TensorPlan) -> Tuple[str, Tuple[Dim, ...]]:
+        """Flat-gather code for one fused-mode access: the flat-buffer offset
+        of every touched element is built as a broadcast sum of per-index
+        terms, then gathered in one fancy-indexing operation."""
+        safe = self._safe(access.tensor.name)
+        indices = access.indices[1:] if plan.is_ragged else access.indices
+        # Offset context: fused axis first, then loop-var dims in index order.
+        octx: List[Dim] = [self._stack_dim]
+        seen_special = 0
+        for idx in indices:
+            if not isinstance(idx, (Const, LoopVar)):
+                raise VectorizeError(
+                    f"unsupported index expression {idx!r} on "
+                    f"{access.tensor.name!r}"
+                )
+            if isinstance(idx, LoopVar):
+                if idx.dim in (self.gov_dim, self.inner_fused_dim):
+                    seen_special += 1
+                    if seen_special > 2 or (plan.is_ragged
+                                            and idx.dim is self.gov_dim):
+                        raise VectorizeError(
+                            f"access to {access.tensor.name!r} re-indexes "
+                            "the fused governing pair"
+                        )
+                elif idx.dim in octx:
+                    raise VectorizeError(
+                        f"access to {access.tensor.name!r} indexes "
+                        f"{idx.dim.name} more than once"
+                    )
+                elif idx.dim in self._index_arrays:
+                    octx.append(idx.dim)
+                else:
+                    raise VectorizeError(
+                        f"access to {access.tensor.name!r} indexes "
+                        f"{idx.dim.name}, which is not a vectorized loop"
+                    )
+        octx_t = tuple(octx)
+        parts: List[str] = []
+        if plan.is_ragged:
+            parts.append(self._aligned_code(
+                f"_aux_{self._safe(plan.row_name)}[_ffo]",
+                (self._stack_dim,), octx_t))
+        const_sum = 0
+        for col, idx in enumerate(indices):
+            if plan.is_ragged:
+                stride_code = (f"_aux_{self._safe(plan.stride_name)}"
+                               f"[_ffo, {col}]")
+                stride_varies = True
+            else:
+                stride_code = str(plan.dense_strides[col])
+                stride_varies = False
+            if isinstance(idx, Const):
+                self._check_index_fits(plan, col, idx)
+                c = int(idx.value)
+                if not c:
+                    continue
+                if stride_varies:
+                    parts.append(self._aligned_code(
+                        f"({c} * {stride_code})", (self._stack_dim,), octx_t))
+                else:
+                    const_sum += c * plan.dense_strides[col]
+                continue
+            if idx.dim is self.inner_fused_dim:
+                self._check_fused_col_fits(plan, col, self._fused_lengths())
+                code = "_ffi" if stride_code == "1" \
+                    else f"(_ffi * {stride_code})"
+                parts.append(self._aligned_code(code, (self._stack_dim,),
+                                                octx_t))
+            elif idx.dim is self.gov_dim:
+                m = int(self._fused_lengths().size)
+                self._check_fused_col_fits(
+                    plan, col, np.asarray([m], dtype=np.int64))
+                code = "_ffo" if stride_code == "1" \
+                    else f"(_ffo * {stride_code})"
+                parts.append(self._aligned_code(code, (self._stack_dim,),
+                                                octx_t))
+            else:
+                self._check_index_fits(plan, col, idx)
+                var = self._index_arrays[idx.dim]
+                if stride_varies:
+                    stride_aligned = self._aligned_code(
+                        stride_code, (self._stack_dim,), octx_t)
+                    var_aligned = self._aligned_code(var, (idx.dim,), octx_t)
+                    parts.append(f"({stride_aligned} * {var_aligned})")
+                else:
+                    code = var if stride_code == "1" \
+                        else f"({var} * {stride_code})"
+                    parts.append(self._aligned_code(code, (idx.dim,), octx_t))
+        if const_sum:
+            parts.append(str(const_sum))
+        offset = " + ".join(parts) if parts else "0"
+        return f"_buf_{safe}[{offset}]", octx_t
+
+    # -- index-fit validation -----------------------------------------------------
 
     def _check_index_fits(self, plan: TensorPlan, col: int, idx: Expr) -> None:
         """Reject (-> scalar fallback) accesses whose loop bound can exceed
-        the instance's storage extent -- slicing a view would silently
+        the instance's storage extent -- slicing / gathering would silently
         truncate where the scalar backend's flat-offset arithmetic does not.
         Happens when a loop is padded without matching storage padding."""
         if isinstance(idx, Const):
             needed = np.asarray([int(idx.value) + 1], dtype=np.int64)
         elif isinstance(idx, LoopVar) and idx.dim is not self.gov_dim:
-            needed = self._bound_values(self._bound_of(idx.dim))
+            if self.mode == "fused" and idx.dim is self.inner_fused_dim:
+                needed = self._fused_lengths()
+            else:
+                needed = self._vb_of(idx.dim).values(self.kernel)
         else:
             return
         if plan.is_ragged:
@@ -512,32 +985,22 @@ class VectorCodeGenerator:
         else:
             available = np.asarray([plan.layout.dense_shape()[col]],
                                    dtype=np.int64)
-        n = min(needed.size, available.size) or 1
-        needed = needed if needed.size == 1 else needed[:n]
-        available = available if available.size == 1 else available[:n]
-        if np.any(needed > available):
+        self._compare_fit(needed, available, plan, col)
+
+    @staticmethod
+    def _compare_fit(needed: np.ndarray, available: np.ndarray,
+                     plan: TensorPlan, col: int) -> None:
+        if needed.size != available.size and 1 in (needed.size, available.size):
+            exceeded = bool(np.any(needed > available))
+        else:
+            n = min(needed.size, available.size) or 1
+            exceeded = bool(np.any(needed[:n] > available[:n]))
+        if exceeded:
             raise VectorizeError(
                 f"loop bound exceeds the storage extent of "
                 f"{plan.spec.name!r} axis {col} (loop padding without "
                 "matching storage padding)"
             )
-
-    def _index_sub(self, idx: Expr, access: TensorAccess) -> str:
-        if isinstance(idx, Const):
-            return str(int(idx.value))
-        if isinstance(idx, LoopVar):
-            if idx.dim is self.gov_dim:
-                return "_b"
-            var = self._bound_var.get(idx.dim)
-            if var is None:
-                raise VectorizeError(
-                    f"access to {access.tensor.name!r} indexes "
-                    f"{idx.dim.name}, which is not a vectorized loop"
-                )
-            return f":{var}"
-        raise VectorizeError(
-            f"unsupported index expression {idx!r} on {access.tensor.name!r}"
-        )
 
     # -- alignment --------------------------------------------------------------
 
@@ -569,40 +1032,101 @@ class VectorCodeGenerator:
     # -- store -------------------------------------------------------------------
 
     def _emit_store(self, em: _Emitter, value_code: str) -> None:
+        if self.mode == "fused":
+            self._emit_store_fused(em, value_code)
+            return
         kernel = self.kernel
         out_plan = kernel.output_plan
         safe = self._safe(out_plan.spec.name)
         store_dims = kernel.output_dims[1:]
-        ctx_out = self.inner_dims
+        ctx_out = self._ctx_out()
         for col, dim in enumerate(store_dims):
             # Ragged shape columns exclude the governing axis; a dense
             # output's shape includes it at position 0.
             axis = col if out_plan.is_ragged else col + 1
             self._check_index_fits(out_plan, axis, LoopVar(dim))
         if not store_dims:
-            target = f"_v_{safe}" if out_plan.is_ragged else f"_nd_{safe}[_b]"
-            em.emit(f"{target} = {value_code}")
+            em.emit(f"_nd_{safe}[_bs] = {value_code}")
             return
         em.emit(f"_val = np.broadcast_to({value_code}, "
                 f"{self._shape_code(ctx_out)})")
-        perm = [ctx_out.index(d) for d in store_dims]
+        perm = [0] + [1 + self.inner_dims.index(d) for d in store_dims]
         val = "_val"
         if perm != sorted(perm):
             val = f"_val.transpose({', '.join(map(str, perm))})"
-        subs = ", ".join(f":{self._bound_var[d]}" for d in store_dims)
+        bounds = ", ".join(self._bound_var[d] for d in store_dims)
         if out_plan.is_ragged:
-            em.emit(f"_v_{safe}[{subs}] = {val}")
+            em.emit(f"_scatter_slices(_buf_{safe}, "
+                    f"_aux_{self._safe(out_plan.row_name)}, "
+                    f"_aux_{self._safe(out_plan.shape_name)}, _bs, "
+                    f"({bounds},), {val})")
         else:
-            em.emit(f"_nd_{safe}[_b, {subs}] = {val}")
+            subs = ", ".join(f":{self._bound_var[d]}" for d in store_dims)
+            em.emit(f"_nd_{safe}[_bs, {subs}] = {val}")
+
+    def _emit_store_fused(self, em: _Emitter, value_code: str) -> None:
+        kernel = self.kernel
+        out_plan = kernel.output_plan
+        safe = self._safe(out_plan.spec.name)
+        rest_dims = kernel.output_dims[2:]
+        ctx_out = self._ctx_out()
+        em.emit(f"_val = np.broadcast_to({value_code}, "
+                f"{self._shape_code(ctx_out)})")
+        perm = [0] + [1 + self.inner_dims.index(d) for d in rest_dims]
+        val = "_val"
+        if perm != sorted(perm):
+            val = f"_val.transpose({', '.join(map(str, perm))})"
+        if kernel.output_dims_fused:
+            # Flat storage: axis 0 is the fused index itself (extent checked
+            # against the loop's fused extent during analysis).
+            for col, dim in enumerate(rest_dims):
+                self._check_index_fits(out_plan, col + 1, LoopVar(dim))
+            subs = ", ".join([":"] + [f":{self._bound_var[d]}"
+                                      for d in rest_dims])
+            em.emit(f"_nd_{safe}[{subs}] = {val}")
+            return
+        if out_plan.is_ragged:
+            self._check_fused_col_fits(out_plan, 0, self._fused_lengths())
+            octx = (self._stack_dim,) + tuple(rest_dims)
+            parts = [self._aligned_code(
+                f"_aux_{self._safe(out_plan.row_name)}[_ffo]",
+                (self._stack_dim,), octx)]
+            parts.append(self._aligned_code(
+                f"(_ffi * _aux_{self._safe(out_plan.stride_name)}[_ffo, 0])",
+                (self._stack_dim,), octx))
+            for col, dim in enumerate(rest_dims):
+                self._check_index_fits(out_plan, col + 1, LoopVar(dim))
+                stride = self._aligned_code(
+                    f"_aux_{self._safe(out_plan.stride_name)}"
+                    f"[_ffo, {col + 1}]", (self._stack_dim,), octx)
+                var = self._aligned_code(self._index_arrays[dim], (dim,), octx)
+                parts.append(f"({stride} * {var})")
+            em.emit(f"_buf_{safe}[{' + '.join(parts)}] = {val}")
+            return
+        # Dense, unfused storage: two adjacent advanced indices land the
+        # fused axis at position 0, matching the value's axis order.
+        m = int(self._fused_lengths().size)
+        self._compare_fit(np.asarray([m], dtype=np.int64),
+                          np.asarray([out_plan.layout.dense_shape()[0]],
+                                     dtype=np.int64), out_plan, 0)
+        self._check_fused_col_fits(out_plan, 1, self._fused_lengths())
+        for col, dim in enumerate(rest_dims):
+            self._check_index_fits(out_plan, col + 2, LoopVar(dim))
+        subs = ", ".join(["_ffo", "_ffi"] + [f":{self._bound_var[d]}"
+                                             for d in rest_dims])
+        em.emit(f"_nd_{safe}[{subs}] = {val}")
 
 
 class VectorBackend(CodegenBackend):
     """NumPy-vectorized backend with automatic scalar fallback.
 
     ``generate`` first attempts vectorized emission; a
-    :class:`VectorizeError` (guards, remaps, fused or split loops, exotic
-    index expressions...) silently falls back to the scalar reference
-    backend, whose result is marked ``backend="scalar"``.
+    :class:`VectorizeError` (diagonal accesses, nested splits, loop padding
+    without storage padding, exotic index expressions...) falls back to the
+    scalar reference backend, whose result is marked ``backend="scalar"``
+    and carries the reason in ``fallback_reason``.  ``vectorized_count`` /
+    ``fallback_count`` / ``fallback_reasons`` expose the decisions to the
+    executor, tests and benchmarks.
     """
 
     name = "vector"
@@ -612,13 +1136,18 @@ class VectorBackend(CodegenBackend):
         #: counts of vectorized vs fallen-back kernels, for introspection
         self.vectorized_count = 0
         self.fallback_count = 0
+        #: VectorizeError reason string -> occurrence count
+        self.fallback_reasons: Counter = Counter()
 
     def generate(self, kernel: LoweredKernel) -> GeneratedKernel:
         try:
             generated = VectorCodeGenerator(kernel).generate()
-        except VectorizeError:
+        except VectorizeError as err:
             self.fallback_count += 1
-            return self.fallback.generate(kernel)
+            self.fallback_reasons[str(err)] += 1
+            generated = self.fallback.generate(kernel)
+            generated.fallback_reason = str(err)
+            return generated
         self.vectorized_count += 1
         return generated
 

@@ -81,6 +81,11 @@ class CompiledKernel:
         return self.generated.backend
 
     @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why a vector-backend request fell back to scalar (else ``None``)."""
+        return self.generated.fallback_reason
+
+    @property
     def output_layout(self) -> RaggedLayout:
         return self.lowered.output_plan.layout
 
@@ -126,25 +131,43 @@ def _bound_table(lowered: LoweredKernel, table_name: str, outer: int) -> np.ndar
 def estimate_flops(lowered: LoweredKernel) -> int:
     """Total FLOPs of the lowered (ragged, padded-as-scheduled) loop nest."""
     # Evaluate per-governing-index trip counts of all loops.
-    # All bound tables are indexed by the outermost governing dimension.
-    outer_bound = lowered.loops[0].bound if lowered.loops else None
-    if outer_bound is None:
+    # All bound tables are indexed by the outermost governing dimension; for
+    # a fused governing loop the prelude's ``ffo`` map recovers it.
+    outer = lowered.loops[0] if lowered.loops else None
+    if outer is None:
         return 0
-    if outer_bound.is_const:
-        m = outer_bound.value
+    if outer.bound.is_const:
+        m = outer.bound.value
     else:
-        m = lowered.aux_arrays[outer_bound.table_name].size
+        m = lowered.aux_arrays[outer.bound.table_name].size
+    ffo = None
+    gov_count = None
+    if outer.fusion is not None:
+        ffo = lowered.aux_arrays.get(f"{outer.fusion.map_name}_ffo")
+        row = lowered.aux_arrays.get(f"{outer.fusion.map_name}_row")
+        gov_count = None if row is None else int(row.size)
+
+    def table_for(table_name: str, outer_size: int) -> np.ndarray:
+        table = lowered.aux_arrays[table_name]
+        # Bound tables are always registered per *original* governing index
+        # (materialise_extent), never per fused iteration -- so under a
+        # fused outer loop a table of the governing extent must be gathered
+        # through ffo even when that extent coincides with the fused one.
+        if ffo is not None and gov_count is not None and table.size == gov_count:
+            return table[ffo]
+        return _bound_table(lowered, table_name, outer_size)
+
     per_b = np.ones(max(m, 1), dtype=np.float64)
     for loop in lowered.loops[1:]:
         if loop.bound.is_const:
             per_b *= loop.bound.value
         else:
-            per_b *= _bound_table(lowered, loop.bound.table_name, per_b.size)
+            per_b *= table_for(loop.bound.table_name, per_b.size)
     for bound in lowered.reduction_bounds.values():
         if bound.is_const:
             per_b *= bound.value
         else:
-            per_b *= _bound_table(lowered, bound.table_name, per_b.size)
+            per_b *= table_for(bound.table_name, per_b.size)
     point_flops = _per_point_flops(lowered)
     return int(float(per_b.sum()) * point_flops)
 
@@ -312,6 +335,38 @@ class Executor:
     def clear_cache(self) -> None:
         """Drop all cached kernels (counters are left untouched)."""
         self._kernel_cache.clear()
+
+    # -- codegen observability --------------------------------------------------
+
+    @property
+    def vectorized_count(self) -> int:
+        """Kernels the (vector) backend emitted on the fast path."""
+        return int(getattr(self.backend, "vectorized_count", 0))
+
+    @property
+    def fallback_count(self) -> int:
+        """Kernels the (vector) backend handed to the scalar fallback."""
+        return int(getattr(self.backend, "fallback_count", 0))
+
+    def codegen_stats(self) -> Dict[str, object]:
+        """Vectorize successes vs scalar fallbacks, with reason strings.
+
+        Extends the ``lower_count`` / ``cache_hits`` statistics: each actual
+        lower+generate pass either vectorizes or falls back, and every
+        fallback records the :class:`~repro.core.codegen_vector.VectorizeError`
+        message that caused it.  Scalar-only backends report zero for both
+        counters and an empty reason map.
+        """
+        return {
+            "backend": self.backend.name,
+            "lower_count": self.lower_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "vectorized": self.vectorized_count,
+            "fallbacks": self.fallback_count,
+            "fallback_reasons": dict(
+                getattr(self.backend, "fallback_reasons", {})),
+        }
 
     # -- execution --------------------------------------------------------------
 

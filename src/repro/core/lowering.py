@@ -86,6 +86,23 @@ class GuardSpec:
 
 
 @dataclass
+class SplitLink:
+    """Ties a split-derived loop back to its original dimension.
+
+    Both loops of a split pair carry a link (``role`` distinguishes them),
+    so a backend can recognise the pair and, e.g., collapse it back into
+    the original iteration domain (the vector backend vectorizes guarded
+    split loops exactly this way).
+    """
+
+    original: Dim
+    outer: Dim
+    inner: Dim
+    factor: int
+    role: str  # "outer" | "inner"
+
+
+@dataclass
 class LoopSpec:
     """One loop of the lowered kernel, ready for code generation."""
 
@@ -97,6 +114,7 @@ class LoopSpec:
     guard: Optional[GuardSpec] = None
     fusion: Optional[FusionSpec] = None
     remap_name: Optional[str] = None
+    split: Optional[SplitLink] = None
 
 
 @dataclass
@@ -267,7 +285,12 @@ def lower_schedule(
                 loop_kind = LoopKind.VARIABLE
             loops.append(LoopSpec(dim=dim, var=var_of(dim), bound=bound,
                                   kind=loop_kind, annotation=ann,
-                                  remap_name=remap_name))
+                                  remap_name=remap_name,
+                                  split=SplitLink(original=split.original,
+                                                  outer=split.outer,
+                                                  inner=split.inner,
+                                                  factor=split.factor,
+                                                  role="outer")))
             continue
 
         if dim in split_by_inner:
@@ -293,7 +316,12 @@ def lower_schedule(
                                   factor=split.factor, bound=guard_bound)
             loops.append(LoopSpec(dim=dim, var=var_of(dim), bound=bound,
                                   kind=LoopKind.CONSTANT, annotation=ann,
-                                  guard=guard, remap_name=remap_name))
+                                  guard=guard, remap_name=remap_name,
+                                  split=SplitLink(original=split.original,
+                                                  outer=split.outer,
+                                                  inner=split.inner,
+                                                  factor=split.factor,
+                                                  role="inner")))
             dim_recovery[split.original] = (
                 "split", var_of(split.outer), var_of(split.inner), split.factor
             )

@@ -126,6 +126,39 @@ def build_fusion_maps(lengths: Sequence[int], pad: int = 1) -> FusionMaps:
                       fused_extent=total)
 
 
+def bucket_by_signature(count: int,
+                        arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Group governing-loop indices by identical per-index signatures.
+
+    ``arrays`` are per-governing-index tables (1-D bound tables or 2-D
+    per-instance shape arrays, each with ``count`` leading entries); two
+    indices land in the same bucket iff every table agrees on them.  The
+    vector backend uses this to execute all instances of one bucket as a
+    single stacked NumPy operation, shrinking its Python-level loop from
+    O(batch) to O(distinct raggedness signatures).  With no tables at all,
+    every index is signature-equal and a single bucket is returned.
+
+    Buckets preserve ascending index order within each group and are
+    ordered by first occurrence, so the result is deterministic.
+    """
+    if count <= 0:
+        return []
+    idx = np.arange(count, dtype=np.int64)
+    if not arrays:
+        return [idx]
+    cols = [np.asarray(a)[:count].reshape(count, -1) for a in arrays]
+    sig = np.concatenate(cols, axis=1)
+    # Stable sort by signature rows, then cut at row changes.
+    order = np.lexsort(sig.T[::-1])
+    sorted_sig = sig[order]
+    new_group = np.any(sorted_sig[1:] != sorted_sig[:-1], axis=1)
+    starts = np.flatnonzero(np.concatenate(([True], new_group)))
+    ends = np.concatenate((starts[1:], [count]))
+    buckets = [np.sort(order[s:e]) for s, e in zip(starts, ends)]
+    buckets.sort(key=lambda b: int(b[0]))
+    return buckets
+
+
 def bulk_pad_lengths(lengths: Sequence[int], multiple: int) -> Tuple[np.ndarray, int]:
     """Apply *bulk padding* to a batch of sequence lengths (Section 7.2).
 

@@ -476,17 +476,14 @@ def run_encoder_layer_numeric(
 
     With ``backend`` (``"vector"`` / ``"scalar"``) or an explicit
     ``executor``, the SDPA operators run through the CoRa compiled pipeline
-    (lowering + codegen with that backend) instead of the NumPy reference;
-    only the unmasked variant is supported there.
+    (lowering + codegen with that backend) instead of the NumPy reference.
+    ``masked=True`` routes through the compiled causal-mask kernel chain
+    (:func:`repro.ops.softmax.masked_softmax_compiled`); the NumPy
+    reference stays the differential oracle for both variants.
     """
     lengths = [h.shape[0] for h in hidden]
     h_size = config.hidden_size
     heads, d = config.num_heads, config.head_size
-    if masked and (backend is not None or executor is not None):
-        raise ValueError(
-            "masked SDPA is not supported by the compiled backends yet; "
-            "drop backend=/executor= to use the numeric reference"
-        )
 
     tokens = pack_tokens(hidden)
     qkv = linear_packed(tokens, weights.wqkv, weights.bqkv)
@@ -503,7 +500,8 @@ def run_encoder_layer_numeric(
         from repro.ops.attention import sdpa_compiled
 
         attn = sdpa_compiled(q, k, v, head_size=d,
-                             backend=backend or "vector", executor=executor)
+                             backend=backend or "vector", executor=executor,
+                             masked=masked)
     else:
         attn = sdpa_slices(q, k, v, head_size=d, masked=masked)
     attn_tokens = pack_tokens([

@@ -218,6 +218,26 @@ def _attnv_schedule(lens_bytes: bytes, heads: int, head_size: int) -> Schedule:
     return Schedule(op)
 
 
+def _run_attnv(attn: Sequence[np.ndarray], v: Sequence[np.ndarray],
+               schedule_of, executor: "Executor",
+               ) -> Tuple[List[np.ndarray], "ExecutionReport"]:
+    """Marshal AttnV inputs, run ``schedule_of(lens, heads, head_size)``."""
+    from repro.ops.softmax import attention_scores_layout
+
+    lens = np.ascontiguousarray([x.shape[1] for x in v], dtype=np.int64)
+    heads, head_size = int(v[0].shape[0]), int(v[0].shape[2])
+    bsz = int(lens.size)
+    schedule = schedule_of(lens, heads, head_size)
+    inputs = {
+        "Attn": RaggedTensor.from_slices(attention_scores_layout(lens, heads),
+                                         list(attn)),
+        "V": RaggedTensor.from_slices(_qkv_layout(lens, heads, head_size),
+                                      list(v)),
+    }
+    out, report = executor.build_and_run(schedule, inputs)
+    return [out.valid_slice(b) for b in range(bsz)], report
+
+
 def attnv_compiled(attn: Sequence[np.ndarray], v: Sequence[np.ndarray],
                    backend: str = "vector",
                    executor: Optional["Executor"] = None,
@@ -231,37 +251,75 @@ def attnv_compiled(attn: Sequence[np.ndarray], v: Sequence[np.ndarray],
 
     if executor is None:
         executor = shared_executor(backend)
-    lens = np.ascontiguousarray([x.shape[1] for x in v], dtype=np.int64)
-    heads, head_size = int(v[0].shape[0]), int(v[0].shape[2])
-    bsz = int(lens.size)
-    schedule = _attnv_schedule(lens.tobytes(), heads, head_size)
-    from repro.ops.softmax import attention_scores_layout
-
-    inputs = {
-        "Attn": RaggedTensor.from_slices(attention_scores_layout(lens, heads),
-                                         list(attn)),
-        "V": RaggedTensor.from_slices(_qkv_layout(lens, heads, head_size),
-                                      list(v)),
-    }
-    out, report = executor.build_and_run(schedule, inputs)
-    return [out.valid_slice(b) for b in range(bsz)], report
+    return _run_attnv(
+        attn, v,
+        lambda lens, heads, hd: _attnv_schedule(lens.tobytes(), heads, hd),
+        executor)
 
 
 def sdpa_compiled(q: Sequence[np.ndarray], k: Sequence[np.ndarray],
                   v: Sequence[np.ndarray], head_size: int,
                   backend: str = "vector",
-                  executor: Optional["Executor"] = None) -> List[np.ndarray]:
-    """Unmasked scaled dot-product attention through the CoRa pipeline:
-    compiled QK^T -> compiled ragged softmax -> compiled AttnV."""
+                  executor: Optional["Executor"] = None,
+                  masked: bool = False) -> List[np.ndarray]:
+    """Scaled dot-product attention through the CoRa pipeline: compiled
+    QK^T -> compiled ragged (optionally causal-masked) softmax -> compiled
+    AttnV.  With ``masked=True`` the additive triangular mask runs as a
+    fifth compiled kernel (decoder-style masking, Figure 18); the whole
+    chain stays on the vector backend's fast path."""
     from repro.core.executor import shared_executor
+    from repro.ops.softmax import masked_softmax_compiled
 
     if executor is None:
         executor = shared_executor(backend)
     scale = 1.0 / float(np.sqrt(head_size))
     scores, _ = qkt_compiled(q, k, scale=scale, executor=executor)
-    probs, _ = softmax_compiled(scores, executor=executor)
+    if masked:
+        probs, _ = masked_softmax_compiled(scores, executor=executor)
+    else:
+        probs, _ = softmax_compiled(scores, executor=executor)
     out, _ = attnv_compiled(probs, v, executor=executor)
     return out
+
+
+@lru_cache(maxsize=64)
+def _attnv_split_schedule(lens_bytes: bytes, heads: int, head_size: int,
+                          tile: int, remap: bool) -> Schedule:
+    """The Figure 14 "Split" AttnV schedule: the query-row vloop is split by
+    the tile size, producing a guarded inner loop for the partial tail tile
+    (no loop padding).  With ``remap`` the governing loop additionally
+    carries a sort-descending thread remap (heaviest sequences first)."""
+    schedule = _attnv_schedule(lens_bytes, heads, head_size)
+    op = schedule.operator
+    # Schedules are memoized; never mutate the shared unsplit instance.
+    schedule = Schedule(op)
+    qi = op.dims[2]
+    schedule.split(qi, int(tile))
+    if remap:
+        batch = op.dims[0]
+        schedule.parallel(batch)
+        schedule.thread_remap(batch, "sort_desc")
+    return schedule
+
+
+def attnv_split_compiled(attn: Sequence[np.ndarray], v: Sequence[np.ndarray],
+                         tile: int = 4,
+                         backend: str = "vector",
+                         executor: Optional["Executor"] = None,
+                         remap: bool = False,
+                         ) -> Tuple[List[np.ndarray], "ExecutionReport"]:
+    """AttnV under the operation-splitting schedule (split query-row vloop
+    with a guard for the tail tile).  Numerically identical to
+    :func:`attnv_compiled`; exercises the guarded/split fast path."""
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    return _run_attnv(
+        attn, v,
+        lambda lens, heads, hd: _attnv_split_schedule(
+            lens.tobytes(), heads, hd, int(tile), bool(remap)),
+        executor)
 
 
 # ---------------------------------------------------------------------------

@@ -110,6 +110,23 @@ def _softmax_schedules(lens_bytes: bytes, heads: int,
             Schedule(div_op))
 
 
+def _softmax_chain(s_tensor: RaggedTensor, lens: np.ndarray, heads: int,
+                   executor: "Executor") -> Tuple[RaggedTensor, list]:
+    """Run the four-kernel softmax chain on a packed score tensor."""
+    max_sch, exp_sch, sum_sch, div_sch = _softmax_schedules(lens.tobytes(),
+                                                            heads)
+    reports = []
+    m_out, rep = executor.build_and_run(max_sch, {"S": s_tensor})
+    reports.append(rep)
+    e_out, rep = executor.build_and_run(exp_sch, {"S": s_tensor, "M": m_out})
+    reports.append(rep)
+    z_out, rep = executor.build_and_run(sum_sch, {"E": e_out})
+    reports.append(rep)
+    p_out, rep = executor.build_and_run(div_sch, {"E": e_out, "Z": z_out})
+    reports.append(rep)
+    return p_out, reports
+
+
 def softmax_compiled(scores: Sequence[np.ndarray],
                      backend: str = "vector",
                      executor: Optional["Executor"] = None,
@@ -129,20 +146,75 @@ def softmax_compiled(scores: Sequence[np.ndarray],
     lens = np.ascontiguousarray([s.shape[-1] for s in scores], dtype=np.int64)
     heads = int(scores[0].shape[0])
     bsz = int(lens.size)
-    max_sch, exp_sch, sum_sch, div_sch = _softmax_schedules(lens.tobytes(),
-                                                            heads)
     s_tensor = RaggedTensor.from_slices(
         attention_scores_layout(lens, heads), list(scores))
-    reports = []
-    m_out, rep = executor.build_and_run(max_sch, {"S": s_tensor})
-    reports.append(rep)
-    e_out, rep = executor.build_and_run(exp_sch, {"S": s_tensor, "M": m_out})
-    reports.append(rep)
-    z_out, rep = executor.build_and_run(sum_sch, {"E": e_out})
-    reports.append(rep)
-    p_out, rep = executor.build_and_run(div_sch, {"E": e_out, "Z": z_out})
-    reports.append(rep)
+    p_out, reports = _softmax_chain(s_tensor, lens, heads, executor)
     return [p_out.valid_slice(b) for b in range(bsz)], reports
+
+
+# -- masked (triangular) softmax ---------------------------------------------------
+
+
+@lru_cache(maxsize=64)
+def causal_mask_matrix(max_len: int) -> np.ndarray:
+    """Dense additive causal mask: 0 on and below the diagonal, ``-inf``
+    above.  Shared by every sequence of the batch (rows/columns past a
+    sequence's length are simply never indexed by the ragged kernels).
+    Memoized per size; treat the returned array as immutable."""
+    mask = np.zeros((max_len, max_len), dtype=np.float32)
+    mask[np.triu_indices(max_len, k=1)] = -np.inf
+    return mask
+
+
+@lru_cache(maxsize=64)
+def _mask_schedule(lens_bytes: bytes, heads: int, max_len: int) -> Schedule:
+    """Additive-mask kernel ``SM[b,h,i,j] = S[b,h,i,j] + Mask[i,j]``.
+
+    This is how the masked-SDPA schedule reaches the compiled pipeline
+    despite the prototype's vdims-depend-on-the-outermost-dim restriction:
+    the triangular iteration space is expressed as a dense mask input
+    indexed by the two inner vloops, which the vector backend turns into a
+    single broadcast add over each instance bucket.
+    """
+    lens = np.frombuffer(lens_bytes, dtype=np.int64)
+    bsz = int(lens.size)
+    batch, head, qi, kj = Dim("batch"), Dim("head"), Dim("qi"), Dim("kj")
+    mat_extents = [ConstExtent(bsz), ConstExtent(heads),
+                   VarExtent(batch, lens), VarExtent(batch, lens)]
+    s_in = input_tensor("S", [batch, head, qi, kj], mat_extents)
+    m_in = input_tensor("Mask", [Dim("mi"), Dim("mj")],
+                        [ConstExtent(max_len), ConstExtent(max_len)])
+    op = compute("SM", [batch, head, qi, kj], mat_extents,
+                 lambda b, h, i, j: s_in[b, h, i, j] + m_in[i, j])
+    return Schedule(op)
+
+
+def masked_softmax_compiled(scores: Sequence[np.ndarray],
+                            backend: str = "vector",
+                            executor: Optional["Executor"] = None,
+                            ) -> Tuple[List[np.ndarray], List["ExecutionReport"]]:
+    """Causal-masked row-wise softmax through the CoRa pipeline.
+
+    Applies the additive triangular mask as a fifth compiled kernel in
+    front of the standard four-kernel chain; every row keeps at least its
+    diagonal element, so the masked rows stay NaN-free without a
+    ``nan_to_num`` pass (matching ``sdpa_slices(masked=True)``).
+    """
+    from repro.core.executor import shared_executor
+
+    if executor is None:
+        executor = shared_executor(backend)
+    lens = np.ascontiguousarray([s.shape[-1] for s in scores], dtype=np.int64)
+    heads = int(scores[0].shape[0])
+    bsz = int(lens.size)
+    max_len = max(int(lens.max()) if bsz else 0, 1)
+    s_tensor = RaggedTensor.from_slices(
+        attention_scores_layout(lens, heads), list(scores))
+    mask_sch = _mask_schedule(lens.tobytes(), heads, max_len)
+    masked, rep = executor.build_and_run(
+        mask_sch, {"S": s_tensor, "Mask": causal_mask_matrix(max_len)})
+    p_out, reports = _softmax_chain(masked, lens, heads, executor)
+    return [p_out.valid_slice(b) for b in range(bsz)], [rep] + reports
 
 
 def softmax_launch(lengths: Sequence[int], num_heads: int,

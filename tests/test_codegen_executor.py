@@ -116,12 +116,21 @@ class TestSplitAndRemap:
         out, _ = Executor().build_and_run(sch, {"A": data})
         assert out.allclose(RaggedTensor(data.layout, 2 * data.data))
 
-    def test_split_source_contains_guard(self):
+    def test_split_scalar_source_contains_guard(self):
         op, batch, seq, data = elementwise_setup()
         sch = Schedule(op)
         sch.split(seq, 4)
-        compiled = Executor().compile(sch)
+        compiled = Executor(backend="scalar").compile(sch)
         assert "if " in compiled.source
+
+    def test_split_vector_source_has_no_guard(self):
+        """The vector backend turns the guard into a trailing slice."""
+        op, batch, seq, data = elementwise_setup()
+        sch = Schedule(op)
+        sch.split(seq, 4)
+        compiled = Executor(backend="vector").compile(sch)
+        assert compiled.backend_name == "vector"
+        assert "if " not in compiled.source
 
     def test_thread_remap_preserves_results(self):
         op, batch, seq, data = elementwise_setup()

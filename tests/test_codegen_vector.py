@@ -181,29 +181,272 @@ class TestVectorizedConstructs:
         assert_backends_match(run_both(op, {"A": data}, schedule_fn=pad))
 
 
-class TestFallback:
-    def _elementwise(self):
-        batch, seq = Dim("batch"), Dim("seq")
+def _elementwise_op(lengths=LENGTHS, seed=1):
+    batch, seq = Dim("batch"), Dim("seq")
+    A = input_tensor("A", [batch, seq],
+                     [ConstExtent(len(lengths)), VarExtent(batch, lengths)])
+    op = compute("B", [batch, seq],
+                 [ConstExtent(len(lengths)), VarExtent(batch, lengths)],
+                 lambda o, i: 2.0 * A[o, i])
+    data = RaggedTensor.random(ragged_layout(lengths), seed=seed)
+    return op, data
+
+
+class TestGuardedSplitVectorized:
+    """Split vloops (guarded and padded) collapse back to the original
+    iteration domain; the guard becomes a trailing slice."""
+
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    def test_guarded_split_elementwise(self, factor):
+        op, data = _elementwise_op()
+        outs = run_both(op, {"A": data},
+                        schedule_fn=lambda s: s.split(s.operator.dims[1],
+                                                      factor))
+        assert_backends_match(outs)
+        assert "if " not in outs["vector"][1].source
+
+    def test_guarded_split_with_reduction(self):
+        batch, seq, j = Dim("batch"), Dim("seq"), Dim("j")
+        A = input_tensor("A", [batch, seq, Dim("h")],
+                         [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS),
+                          ConstExtent(6)])
+        W = input_tensor("W", [Dim("ki"), j], [ConstExtent(6), ConstExtent(5)])
+        k = reduce_axis(6, "k")
+        op = compute("C", [batch, seq, j],
+                     [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS),
+                      ConstExtent(5)],
+                     lambda b, i, jj: sum_reduce(
+                         A[b, i, LoopVar(k.dim)] * W[LoopVar(k.dim), jj], k))
+        ta = RaggedTensor.random(ragged_layout(LENGTHS, 6), seed=4)
+        w = np.random.default_rng(5).standard_normal((6, 5)).astype(np.float32)
+        outs = run_both(op, {"A": ta, "W": w},
+                        schedule_fn=lambda s: s.split(s.operator.dims[1], 4))
+        assert "np.einsum" in outs["vector"][1].source
+        assert_backends_match(outs)
+
+    def test_padded_split_without_guard(self):
+        """pad_loop to the split factor elides the guard; the collapsed
+        bound is tiles * factor (the padded domain)."""
+        op, data = _elementwise_op()
+
+        def pad_and_split(schedule):
+            seq = schedule.operator.dims[1]
+            schedule.pad_loop(seq, 4)
+            schedule.pad_dimension(seq, 4)
+            schedule.pad_input_dimension("A", seq, 4)
+            schedule.split(seq, 4)
+
+        from repro.core.storage import RaggedLayout
+
+        batch, seq = op.dims
+        padded_layout = RaggedLayout(
+            [batch, seq],
+            [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)],
+            storage_padding={seq: 4})
+        data = RaggedTensor.random(padded_layout, seed=9)
+        outs = run_both(op, {"A": data}, schedule_fn=pad_and_split)
+        assert_backends_match(outs)
+
+
+class TestFusedLoopsVectorized:
+    """A fused governing vloop executes as one flat gather (no Python loop)."""
+
+    def test_fused_loops_vectorize(self):
+        op, data = _elementwise_op()
+        outs = run_both(op, {"A": data},
+                        schedule_fn=lambda s: s.fuse_loops(*s.operator.dims))
+        assert_backends_match(outs)
+        source = outs["vector"][1].source
+        assert "_ffo" in source and "_ffi" in source
+        assert source.count("for _") == 0
+
+    def test_fused_loops_with_inner_const_dim(self):
+        batch, seq, h = Dim("batch"), Dim("seq"), Dim("h")
+        A = input_tensor("A", [batch, seq, h],
+                         [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS),
+                          ConstExtent(5)])
+        op = compute("B", [batch, seq, h],
+                     [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS),
+                      ConstExtent(5)],
+                     lambda b, i, c: relu(A[b, i, c]) + 1.0)
+        data = RaggedTensor.random(ragged_layout(LENGTHS, 5), seed=6)
+        outs = run_both(
+            op, {"A": data},
+            schedule_fn=lambda s: s.fuse_loops(*s.operator.dims[:2]))
+        assert_backends_match(outs)
+
+    def test_fused_dims_flat_store(self):
+        op, data = _elementwise_op()
+
+        def fuse_all(schedule):
+            b, s = schedule.operator.dims
+            schedule.fuse_loops(b, s)
+            schedule.fuse_dimensions(b, s)
+
+        outs = run_both(op, {"A": data}, schedule_fn=fuse_all)
+        assert_backends_match(outs)
+
+    def test_fused_with_loop_vars_as_values(self):
+        op_dims = Dim("batch"), Dim("seq")
+        batch, seq = op_dims
         A = input_tensor("A", [batch, seq],
                          [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)])
         op = compute("B", [batch, seq],
                      [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)],
-                     lambda o, i: 2.0 * A[o, i])
-        data = RaggedTensor.random(ragged_layout(LENGTHS), seed=1)
-        return op, data
-
-    def test_fused_loops_fall_back(self):
-        op, data = self._elementwise()
+                     lambda o, i: A[o, i] * i + o)
+        data = RaggedTensor.random(ragged_layout(LENGTHS), seed=3)
         outs = run_both(op, {"A": data},
-                        schedule_fn=lambda s: s.fuse_loops(*s.operator.dims))
-        assert_backends_match(outs, expect_vectorized=False)
-        assert "ffo" in outs["vector"][1].source
+                        schedule_fn=lambda s: s.fuse_loops(batch, seq))
+        assert_backends_match(outs)
 
-    def test_split_loops_fall_back(self):
-        op, data = self._elementwise()
+    def test_dense_tensor_mixed_fused_and_plain_accesses(self):
+        """A dense tensor read both with and without fused-dim indices needs
+        the reshaped view *and* the flat gather (regression: the reshape was
+        suppressed for the whole tensor, NameError at run time)."""
+        batch, seq = Dim("batch"), Dim("seq")
+        A = input_tensor("A", [batch, seq],
+                         [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)])
+        W = input_tensor("W", [Dim("wr"), Dim("wc")],
+                         [ConstExtent(len(LENGTHS)), ConstExtent(2)])
+        op = compute("B", [batch, seq],
+                     [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)],
+                     lambda o, i: A[o, i] * W[o, 0] + W[0, 1])
+        data = RaggedTensor.random(ragged_layout(LENGTHS), seed=17)
+        w = np.random.default_rng(18).standard_normal(
+            (len(LENGTHS), 2)).astype(np.float32)
+        outs = run_both(op, {"A": data, "W": w},
+                        schedule_fn=lambda s: s.fuse_loops(batch, seq))
+        assert_backends_match(outs)
+
+    def test_variable_reduction_under_fusion_falls_back(self):
+        batch, seq = Dim("batch"), Dim("seq")
+        A = input_tensor("A", [batch, seq],
+                         [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)])
+        k = reduce_axis(VarExtent(batch, LENGTHS), "k")
+        op = compute("S", [batch, seq],
+                     [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)],
+                     lambda b, i: sum_reduce(A[b, LoopVar(k.dim)], k))
+        data = RaggedTensor.random(ragged_layout(LENGTHS), seed=8)
         outs = run_both(op, {"A": data},
-                        schedule_fn=lambda s: s.split(s.operator.dims[1], 4))
+                        schedule_fn=lambda s: s.fuse_loops(batch, seq))
         assert_backends_match(outs, expect_vectorized=False)
+
+    @pytest.mark.parametrize("lens", [[2, 0], [5, 2, 3], [1, 3]])
+    def test_fused_flop_estimate_matches_unfused(self, lens):
+        """Fusion is a pure scheduling decision: estimate_flops must agree
+        with the unfused nest even when the fused extent coincides with the
+        batch size (regression: per-batch bound tables were consumed as
+        per-fused-iteration bounds)."""
+        from repro.core.executor import estimate_flops
+
+        lens = np.asarray(lens)
+        batch, seq = Dim("batch"), Dim("seq")
+        A = input_tensor("A", [batch, seq],
+                         [ConstExtent(len(lens)), VarExtent(batch, lens)])
+        k = reduce_axis(VarExtent(batch, lens), "k")
+        op = compute("S", [batch, seq],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens)],
+                     lambda b, i: sum_reduce(A[b, LoopVar(k.dim)], k))
+        plain = estimate_flops(lower_schedule(Schedule(op)))
+        sch = Schedule(op)
+        sch.fuse_loops(batch, seq)
+        fused = estimate_flops(lower_schedule(sch))
+        assert fused == plain
+
+
+class TestThreadRemapVectorized:
+    def test_thread_remap_vectorizes(self):
+        """Remaps permute execution order only; bucketed stores are
+        disjoint, so the vector backend runs the remapped loop directly."""
+        op, data = _elementwise_op()
+        outs = run_both(op, {"A": data},
+                        schedule_fn=lambda s: s.thread_remap(
+                            s.operator.dims[0], "sort_desc"))
+        assert_backends_match(outs)
+        assert "remap" in outs["vector"][1].source
+
+
+class TestBucketing:
+    def test_duplicate_lengths_share_buckets(self):
+        lens = np.array([4, 2, 4, 2, 4])
+        op, data = _elementwise_op(lens, seed=12)
+        compiled = Executor(backend="vector").compile(Schedule(op))
+        assert compiled.backend_name == "vector"
+        buckets = compiled.generated.fn.__globals__["_BUCKETS"]
+        assert len(buckets) == 2  # one per distinct length
+        assert sorted(int(i) for b in buckets for i in b) == list(range(5))
+
+    def test_uniform_lengths_single_bucket(self):
+        lens = np.array([3, 3, 3, 3])
+        op, data = _elementwise_op(lens, seed=13)
+        executor = Executor(backend="vector")
+        compiled = executor.compile(Schedule(op))
+        buckets = compiled.generated.fn.__globals__["_BUCKETS"]
+        assert len(buckets) == 1
+        out, _ = executor.run(compiled, {"A": data})
+        assert np.allclose(out.data, 2.0 * data.data, atol=1e-5)
+
+    def test_bucketed_matmul_matches_scalar(self):
+        lens = np.array([5, 3, 5, 3, 5, 3])
+        batch, seq, j = Dim("batch"), Dim("seq"), Dim("j")
+        A = input_tensor("A", [batch, seq, Dim("h")],
+                         [ConstExtent(len(lens)), VarExtent(batch, lens),
+                          ConstExtent(4)])
+        W = input_tensor("W", [Dim("ki"), j], [ConstExtent(4), ConstExtent(3)])
+        k = reduce_axis(4, "k")
+        op = compute("C", [batch, seq, j],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens),
+                      ConstExtent(3)],
+                     lambda b, i, jj: sum_reduce(
+                         A[b, i, LoopVar(k.dim)] * W[LoopVar(k.dim), jj], k))
+        ta = RaggedTensor.random(ragged_layout(lens, 4), seed=14)
+        w = np.random.default_rng(15).standard_normal((4, 3)).astype(np.float32)
+        outs = run_both(op, {"A": ta, "W": w})
+        assert_backends_match(outs)
+        buckets = outs["vector"][1].generated.fn.__globals__["_BUCKETS"]
+        assert len(buckets) == 2
+
+
+class TestTriangularMaskAccess:
+    def test_dense_mask_indexed_by_two_inner_loops(self):
+        """The masked-SDPA mask-add pattern: a dense (max_len, max_len)
+        tensor indexed by two table-bound inner loops vectorizes."""
+        lens = LENGTHS
+        max_len = int(lens.max())
+        batch, qi, kj = Dim("batch"), Dim("qi"), Dim("kj")
+        S = input_tensor("S", [batch, Dim("si"), Dim("sj")],
+                         [ConstExtent(len(lens)), VarExtent(batch, lens),
+                          VarExtent(batch, lens)])
+        M = input_tensor("M", [Dim("mi"), Dim("mj")],
+                         [ConstExtent(max_len), ConstExtent(max_len)])
+        op = compute("SM", [batch, qi, kj],
+                     [ConstExtent(len(lens)), VarExtent(batch, lens),
+                      VarExtent(batch, lens)],
+                     lambda b, i, jj: S[b, i, jj] + M[i, jj])
+        from repro.core.storage import RaggedLayout
+
+        s_layout = RaggedLayout(
+            [batch, Dim("r"), Dim("c")],
+            [ConstExtent(len(lens)), VarExtent(batch, lens),
+             VarExtent(batch, lens)])
+        s_data = RaggedTensor.random(s_layout, seed=21)
+        mask = np.triu(np.full((max_len, max_len), -1.0, dtype=np.float32), 1)
+        outs = run_both(op, {"S": s_data, "M": mask})
+        assert_backends_match(outs)
+
+
+class TestFallback:
+    def _elementwise(self):
+        return _elementwise_op()
+
+    def test_remap_on_variable_inner_loop_falls_back(self):
+        """A remap permutation can outrun a per-instance bound; the scalar
+        backend keeps those semantics."""
+        op, data = self._elementwise()
+        schedule = Schedule(op)
+        schedule.thread_remap(op.dims[1], "identity")
+        lowered = lower_schedule(schedule)
+        assert not can_vectorize(lowered)
 
     def test_loop_padding_without_storage_padding_falls_back(self):
         """pad_loop without pad_dimension makes the loop bound exceed the
@@ -240,26 +483,41 @@ class TestFallback:
         outs = run_both(op, {"A": data})
         assert_backends_match(outs, expect_vectorized=False)
 
-    def test_thread_remap_falls_back(self):
-        op, data = self._elementwise()
-        outs = run_both(op, {"A": data},
-                        schedule_fn=lambda s: s.thread_remap(
-                            s.operator.dims[0], "sort_desc"))
-        assert_backends_match(outs, expect_vectorized=False)
-
-    def test_fallback_counters(self):
-        op, data = self._elementwise()
+    def test_fallback_counters_and_reasons(self):
+        batch, i = Dim("batch"), Dim("i")
+        A = input_tensor("A", [batch, Dim("r"), Dim("c")],
+                         [ConstExtent(3), ConstExtent(4), ConstExtent(4)])
+        diag = compute("D", [batch, i], [ConstExtent(3), ConstExtent(4)],
+                       lambda b, ii: A[b, ii, ii] + 0.0)
         backend = VectorBackend()
-        sch = Schedule(op)
-        sch.split(op.dims[1], 4)
-        lowered = lower_schedule(sch)
+        lowered = lower_schedule(Schedule(diag))
         assert not can_vectorize(lowered)
-        backend.generate(lowered)
+        generated = backend.generate(lowered)
         assert backend.fallback_count == 1
+        assert generated.fallback_reason is not None
+        assert "more than once" in generated.fallback_reason
+        assert sum(backend.fallback_reasons.values()) == 1
+        op, _ = _elementwise_op()
         plain = lower_schedule(Schedule(op))
         assert can_vectorize(plain)
-        backend.generate(plain)
+        assert backend.generate(plain).fallback_reason is None
         assert backend.vectorized_count == 1
+
+    def test_executor_codegen_stats(self):
+        batch, i = Dim("batch"), Dim("i")
+        A = input_tensor("A", [batch, Dim("r"), Dim("c")],
+                         [ConstExtent(3), ConstExtent(4), ConstExtent(4)])
+        diag = compute("D", [batch, i], [ConstExtent(3), ConstExtent(4)],
+                       lambda b, ii: A[b, ii, ii] + 0.0)
+        op, _ = _elementwise_op()
+        executor = Executor(backend="vector")
+        executor.compile(Schedule(op))
+        executor.compile(Schedule(diag))
+        stats = executor.codegen_stats()
+        assert stats["vectorized"] == 1
+        assert stats["fallbacks"] == 1
+        assert stats["lower_count"] == 2
+        assert any("more than once" in r for r in stats["fallback_reasons"])
 
 
 class TestDenseOutput:
@@ -282,15 +540,19 @@ class TestDenseOutput:
 
 
 class TestVectorSourceShape:
-    def test_uses_slice_views_not_scalar_loops(self):
-        batch, seq = Dim("batch"), Dim("seq")
-        A = input_tensor("A", [batch, seq],
-                         [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)])
-        op = compute("B", [batch, seq],
-                     [ConstExtent(len(LENGTHS)), VarExtent(batch, LENGTHS)],
-                     lambda o, i: 2.0 * A[o, i])
+    def test_uses_gathers_not_scalar_loops(self):
+        op, _ = _elementwise_op()
         compiled = Executor(backend="vector").compile(Schedule(op))
         assert compiled.backend_name == "vector"
-        assert "_slice_view" in compiled.source
-        # One Python loop (the governing loop), everything else vectorized.
+        assert "_gather_slices" in compiled.source
+        assert "_scatter_slices" in compiled.source
+        # One Python loop (over instance buckets), everything else vectorized.
         assert compiled.source.count("for _") == 1
+
+    def test_fused_source_has_no_python_loop(self):
+        op, _ = _elementwise_op()
+        sch = Schedule(op)
+        sch.fuse_loops(*op.dims)
+        compiled = Executor(backend="vector").compile(sch)
+        assert compiled.backend_name == "vector"
+        assert compiled.source.count("for _") == 0

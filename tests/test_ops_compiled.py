@@ -141,8 +141,53 @@ class TestAttentionCompiled:
         executor = Executor(backend="vector")
         sdpa_compiled(qkv["q"], qkv["k"], qkv["v"],
                       head_size=SMALL_CONFIG.head_size, executor=executor)
-        assert executor.backend.fallback_count == 0
-        assert executor.backend.vectorized_count == 6  # qkt + 4 softmax + attnv
+        assert executor.fallback_count == 0
+        assert executor.vectorized_count == 6  # qkt + 4 softmax + attnv
+        assert executor.codegen_stats()["fallback_reasons"] == {}
+
+    def test_masked_sdpa_matches_reference(self, backend):
+        qkv = self._qkv((5, 2, 4))
+        out = sdpa_compiled(qkv["q"], qkv["k"], qkv["v"],
+                            head_size=SMALL_CONFIG.head_size, backend=backend,
+                            masked=True)
+        refs = sdpa_slices(qkv["q"], qkv["k"], qkv["v"],
+                           head_size=SMALL_CONFIG.head_size, masked=True)
+        assert _allclose_lists(out, refs)
+
+    def test_masked_sdpa_kernels_all_vectorize(self):
+        """Acceptance: zero fallbacks on the masked encoder SDPA chain."""
+        qkv = self._qkv((5, 3))
+        executor = Executor(backend="vector")
+        sdpa_compiled(qkv["q"], qkv["k"], qkv["v"],
+                      head_size=SMALL_CONFIG.head_size, executor=executor,
+                      masked=True)
+        assert executor.fallback_count == 0
+        # qkt + mask + 4 softmax + attnv
+        assert executor.vectorized_count == 7
+
+    def test_split_attnv_matches_plain(self):
+        from repro.ops.attention import attnv_split_compiled
+
+        qkv = self._qkv((5, 3, 4))
+        attn = qkt_slices(qkv["q"], qkv["k"], scale=0.5)
+        refs = attnv_slices(attn, qkv["v"])
+        for remap in (False, True):
+            executor = Executor(backend="vector")
+            out, _ = attnv_split_compiled(attn, qkv["v"], tile=2,
+                                          executor=executor, remap=remap)
+            assert _allclose_lists(out, refs)
+            assert executor.fallback_count == 0
+
+    def test_split_attnv_scalar_and_vector_agree(self):
+        from repro.ops.attention import attnv_split_compiled
+
+        qkv = self._qkv((5, 2, 3))
+        attn = qkt_slices(qkv["q"], qkv["k"], scale=0.5)
+        scalar, _ = attnv_split_compiled(attn, qkv["v"], tile=4,
+                                         backend="scalar")
+        vector, _ = attnv_split_compiled(attn, qkv["v"], tile=4,
+                                         backend="vector")
+        assert _allclose_lists(scalar, vector, atol=1e-5)
 
 
 class TestEncoderLayerBackend:
@@ -162,14 +207,37 @@ class TestEncoderLayerBackend:
                                             backend=backend)
             assert _allclose_lists(got.hidden, ref.hidden)
 
-    def test_masked_with_backend_rejected(self):
+    def test_masked_encoder_layer_matches_numeric(self):
+        """run_encoder_layer_numeric(masked=True, backend=...) end to end."""
         from repro.models.transformer import (
             EncoderWeights,
             run_encoder_layer_numeric,
         )
 
         weights = EncoderWeights.random(SMALL_CONFIG, seed=0)
-        hidden = [np.zeros((3, SMALL_CONFIG.hidden_size), dtype=np.float32)]
-        with pytest.raises(ValueError, match="masked"):
-            run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG,
-                                      masked=True, backend="vector")
+        rng = np.random.default_rng(2)
+        hidden = [rng.standard_normal((s, SMALL_CONFIG.hidden_size))
+                  .astype(np.float32) for s in (5, 3, 4)]
+        ref = run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG,
+                                        masked=True)
+        for backend in BACKENDS:
+            got = run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG,
+                                            masked=True, backend=backend)
+            assert _allclose_lists(got.hidden, ref.hidden)
+
+    def test_masked_encoder_layer_zero_fallbacks(self):
+        from repro.models.transformer import (
+            EncoderWeights,
+            run_encoder_layer_numeric,
+        )
+
+        weights = EncoderWeights.random(SMALL_CONFIG, seed=0)
+        rng = np.random.default_rng(3)
+        hidden = [rng.standard_normal((s, SMALL_CONFIG.hidden_size))
+                  .astype(np.float32) for s in (4, 2)]
+        executor = Executor(backend="vector")
+        run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG, masked=True,
+                                  executor=executor)
+        stats = executor.codegen_stats()
+        assert stats["fallbacks"] == 0, stats["fallback_reasons"]
+        assert stats["vectorized"] == 7
