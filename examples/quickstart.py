@@ -5,13 +5,17 @@ an elementwise operator over a batch of variable-length sequences.  It
 shows the three stages of the pipeline -- describing the computation,
 scheduling it (padding + loop fusion), and executing the generated kernel --
 and prints the generated Python kernel so you can see the prelude-built
-auxiliary arrays being indexed.
+auxiliary arrays being indexed.  A final section lifts the operator into
+the program runtime: declared as a one-node :class:`repro.Program` and
+executed through a :class:`repro.Session`, which compiles ahead of time
+and replays mini-batches without per-op dispatch.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
+from repro import Program, Session
 from repro.core.dims import Dim
 from repro.core.executor import Executor
 from repro.core.extents import ConstExtent, VarExtent
@@ -92,6 +96,29 @@ def main() -> None:
     print(f"\nragged FLOPs executed : {unfused_report.flops}")
     print(f"fully padded FLOPs    : {unfused_report.dense_flops}")
     print(f"padding waste avoided : {unfused_report.padding_waste:.2f}x")
+
+    # ------------------------------------------------------------------ #
+    # 4. The Session API: declare the operator as a (one-node) program
+    #    and let the session compile it ahead of time.  Real programs
+    #    chain many nodes; the session plans all intermediate buffers
+    #    into a reusable arena and replays batches with a flat dispatch
+    #    loop (see examples/transformer_encoder.py for the full encoder).
+    # ------------------------------------------------------------------ #
+    program = Program("quickstart")
+    a_val = program.add_input("A", layout=input_layout)
+    out_layout = RaggedLayout(
+        [batch, seq],
+        [ConstExtent(len(lengths)), VarExtent(batch, lengths)])
+    scaled = program.add_kernel("scale", unfused, {"A": a_val}, out_layout)
+    program.mark_output(scaled)
+
+    session = Session(backend="vector")
+    result = session.run(program, {"A": a})[scaled]
+    print("\n--- Session API --------------------------------------------")
+    print(f"program output matches op-by-op run: "
+          f"{result.allclose(out)}")
+    print(f"session stats: {session.stats()['codegen']['backend']} backend, "
+          f"{session.stats()['program_compiles']} program compile(s)")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,13 @@ The package is organised as follows:
     functions), the dimension graph, ragged storage layouts and their O(1)
     access lowering, prelude generation (auxiliary arrays), the operator
     description API, scheduling primitives, bounds inference, the loop-nest
-    IR, lowering and Python code generation, and the executor.
+    IR, lowering and Python code generation, and the executor.  On top of
+    single operators sits the *ragged program graph runtime*: a
+    :class:`Program` graph of scheduled operators, the liveness/arena
+    planner (:mod:`repro.core.planner`), and the :class:`Session`, which
+    compiles a whole program ahead of time for one raggedness signature
+    and executes repeated mini-batches with a flat dispatch loop over
+    reusable arena buffers.
 
 ``repro.substrates``
     Simulated hardware devices (GPU-like and CPU-like) and the analytical
@@ -53,6 +59,9 @@ from repro.core.schedule import Schedule
 from repro.core.codegen import CodegenBackend, ScalarBackend, get_backend
 from repro.core.codegen_vector import VectorBackend
 from repro.core.executor import Executor
+from repro.core.planner import ProgramPlan, plan_program
+from repro.core.program import Program, ProgramError
+from repro.core.session import CompiledProgram, Session, default_session
 
 __version__ = "0.1.0"
 
@@ -73,5 +82,12 @@ __all__ = [
     "VectorBackend",
     "get_backend",
     "Executor",
+    "Program",
+    "ProgramError",
+    "ProgramPlan",
+    "plan_program",
+    "Session",
+    "CompiledProgram",
+    "default_session",
     "__version__",
 ]

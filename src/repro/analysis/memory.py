@@ -66,6 +66,44 @@ def memory_savings_ratio(lengths: Sequence[int],
     return dense / ragged
 
 
+def encoder_arena_plan(lengths: Sequence[int],
+                       config: TransformerConfig = PAPER_BASE_CONFIG,
+                       masked: bool = False) -> "ProgramPlan":
+    """The liveness-planned arena layout of the encoder program.
+
+    Declares the encoder layer as a ragged program (zero weights -- only
+    the raggedness signature matters for buffer sizes) and runs the
+    planner over it, without compiling any kernels.
+    """
+    from repro.core.planner import plan_program
+    from repro.models.transformer import EncoderWeights, build_encoder_program
+
+    program = build_encoder_program(lengths, EncoderWeights.zeros(config),
+                                    config, masked=masked)
+    return plan_program(program)
+
+
+def intermediate_memory_report(lengths: Sequence[int],
+                               config: TransformerConfig = PAPER_BASE_CONFIG,
+                               masked: bool = False) -> Dict[str, float]:
+    """Intermediate-buffer memory of one encoder layer, from the planner.
+
+    Unlike :func:`activation_memory_bytes` (which analytically sums every
+    forward activation, the Figure 19 accounting), this reads the *planned
+    arena sizes* of the program runtime: ``per_op_bytes`` is what op-by-op
+    execution allocates (one buffer per intermediate value), ``arena_bytes``
+    is the peak after liveness-driven slab reuse.
+    """
+    plan = encoder_arena_plan(lengths, config, masked=masked)
+    return {
+        "per_op_bytes": float(plan.naive_bytes),
+        "arena_bytes": float(plan.arena_bytes),
+        "num_values": float(plan.num_values),
+        "num_slabs": float(plan.num_slabs),
+        "savings": plan.reuse_savings,
+    }
+
+
 def memory_report(lengths_by_dataset: Dict[str, Sequence[int]],
                   config: TransformerConfig = PAPER_BASE_CONFIG) -> Dict[str, Dict[str, float]]:
     """Per-dataset dense vs ragged activation memory (Figure 19)."""

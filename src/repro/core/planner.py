@@ -1,0 +1,207 @@
+"""Program planning: topological ordering, liveness, arena assignment.
+
+Given a :class:`~repro.core.program.Program` whose raggedness signature is
+fixed, every intermediate value's byte size is known before execution
+(insight I1 of the paper: raggedness is known up front).  The planner
+exploits that to replace per-op output allocation with a small set of
+reusable arena *slabs*:
+
+1. :func:`topological_order` orders the nodes (Kahn's algorithm, stable in
+   insertion order -- programs built through the ``Program`` API are
+   already topological, but the planner does not rely on it);
+2. liveness analysis computes, for every intermediate value, the half-open
+   interval of node steps during which its buffer must exist: from its
+   producing step to its last consuming step (program outputs stay live to
+   the end of the program);
+3. a greedy best-fit allocator assigns each value to a slab.  A node's
+   output is assigned *while its inputs are still live*, so a value never
+   aliases the buffers its producer reads -- overlapping producer/consumer
+   lifetimes are automatically double-buffered into distinct slabs; slabs
+   are recycled only once their occupant's last consumer has executed.
+
+The resulting :class:`ProgramPlan` records the slab sizes, the per-value
+assignment and the peak arena bytes, alongside the bytes a per-op
+allocator would have touched -- the number the memory model and the
+program-runtime benchmark report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.program import (
+    Program,
+    ProgramError,
+    ROLE_INTERMEDIATE,
+)
+
+
+@dataclass
+class ProgramPlan:
+    """The execution plan of one program: order, liveness, arena layout."""
+
+    #: node indices in execution order
+    order: List[int]
+    #: value name -> (birth step, death step); steps index into ``order``.
+    #: A value is live on ``[birth, death]`` inclusive.
+    liveness: Dict[str, Tuple[int, int]]
+    #: value name -> arena slab index
+    slab_of: Dict[str, int]
+    #: per-slab capacity in elements
+    slab_elements: List[int]
+    #: per-value element counts used for planning
+    value_elements: Dict[str, int]
+    #: bytes per element (float32 throughout the numeric path)
+    itemsize: int = 4
+
+    @property
+    def arena_bytes(self) -> int:
+        """Peak intermediate bytes under arena reuse (sum of slab sizes)."""
+        return int(sum(self.slab_elements)) * self.itemsize
+
+    @property
+    def naive_bytes(self) -> int:
+        """Bytes a per-op allocator would allocate (one buffer per value)."""
+        return int(sum(self.value_elements.values())) * self.itemsize
+
+    @property
+    def num_slabs(self) -> int:
+        return len(self.slab_elements)
+
+    @property
+    def num_values(self) -> int:
+        return len(self.value_elements)
+
+    @property
+    def reuse_savings(self) -> float:
+        """Fraction of per-op allocation bytes the arena avoids (0..1)."""
+        naive = self.naive_bytes
+        if naive == 0:
+            return 0.0
+        return 1.0 - self.arena_bytes / naive
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "num_nodes": len(self.order),
+            "num_values": self.num_values,
+            "num_slabs": self.num_slabs,
+            "arena_bytes": self.arena_bytes,
+            "naive_bytes": self.naive_bytes,
+            "reuse_savings": self.reuse_savings,
+        }
+
+
+def topological_order(program: Program) -> List[int]:
+    """Kahn's algorithm over the node graph, stable in insertion order."""
+    n = len(program.nodes)
+    preds: List[set] = [set() for _ in range(n)]
+    succs: List[set] = [set() for _ in range(n)]
+    for idx, node in enumerate(program.nodes):
+        for name in node.inputs:
+            producer = program.values[name].producer
+            if producer is not None and producer != idx:
+                preds[idx].add(producer)
+                succs[producer].add(idx)
+    ready = [i for i in range(n) if not preds[i]]
+    order: List[int] = []
+    while ready:
+        i = ready.pop(0)
+        order.append(i)
+        for j in sorted(succs[i]):
+            preds[j].discard(i)
+            if not preds[j]:
+                ready.append(j)
+    if len(order) != n:
+        cyclic = [program.nodes[i].name for i in range(n) if preds[i]]
+        raise ProgramError(f"program graph has a cycle through {cyclic}")
+    return order
+
+
+def compute_liveness(program: Program,
+                     order: List[int]) -> Dict[str, Tuple[int, int]]:
+    """Per-intermediate ``(birth, death)`` step interval (inclusive).
+
+    Program outputs die at the last step so their buffers survive until
+    ``Session.run`` copies them out.
+    """
+    step_of = {node_idx: step for step, node_idx in enumerate(order)}
+    last_step = len(order) - 1
+    liveness: Dict[str, Tuple[int, int]] = {}
+    for value in program.intermediates():
+        if value.producer is None:
+            raise ProgramError(f"value {value.name!r} has no producer")
+        birth = step_of[value.producer]
+        death = birth
+        for consumer in value.consumers:
+            death = max(death, step_of[consumer])
+        if value.name in program.outputs:
+            death = last_step
+        liveness[value.name] = (birth, death)
+    return liveness
+
+
+def plan_program(program: Program, itemsize: int = 4) -> ProgramPlan:
+    """Order the graph, run liveness, and pack intermediates into slabs.
+
+    Sizes come from the declared value layouts/shapes, so no compilation
+    is required (the analytical memory model plans programs directly);
+    session compilation separately validates that every kernel node's
+    declared output layout matches its compiled plan's size.
+    """
+    program.validate()
+    order = topological_order(program)
+    liveness = compute_liveness(program, order)
+
+    value_elements = {
+        v.name: v.num_elements for v in program.intermediates()
+    }
+
+    # Greedy best-fit: values are born in execution order; a slab is free
+    # once its occupant's death step has passed.  Because a node's output
+    # is assigned before its inputs are released, producer/consumer
+    # lifetime overlap never shares a slab (double buffering).
+    slab_elements: List[int] = []
+    slab_of: Dict[str, int] = {}
+    free: List[int] = []
+    # values grouped by birth / death step
+    births: Dict[int, List[str]] = {}
+    deaths: Dict[int, List[str]] = {}
+    for name, (birth, death) in liveness.items():
+        births.setdefault(birth, []).append(name)
+        deaths.setdefault(death, []).append(name)
+
+    for step in range(len(order)):
+        for name in births.get(step, ()):
+            need = value_elements[name]
+            best = None
+            for slab in free:
+                if slab_elements[slab] >= need:
+                    if best is None or slab_elements[slab] < slab_elements[best]:
+                        best = slab
+            if best is not None:
+                free.remove(best)
+                slab_of[name] = best
+            elif free:
+                # No free slab fits: grow the largest free one instead of
+                # opening a new slab (fewer, bigger slabs -> higher reuse).
+                grow = max(free, key=lambda s: slab_elements[s])
+                free.remove(grow)
+                slab_elements[grow] = need
+                slab_of[name] = grow
+            else:
+                slab_of[name] = len(slab_elements)
+                slab_elements.append(need)
+        for name in deaths.get(step, ()):
+            free.append(slab_of[name])
+
+    return ProgramPlan(
+        order=order,
+        liveness=liveness,
+        slab_of=slab_of,
+        slab_elements=slab_elements,
+        value_elements=value_elements,
+        itemsize=int(itemsize),
+    )

@@ -1,0 +1,383 @@
+"""The Session: ahead-of-time compilation and execution of ragged programs.
+
+A :class:`Session` is the program-level runtime boundary of the paper's
+insight I1: the raggedness signature of a mini-batch is known before
+anything executes and is shared across the whole model, so *all* auxiliary
+work -- kernel lowering and code generation, prelude arrays, buffer
+planning and allocation -- is hoisted out of the per-batch path:
+
+* :meth:`Session.compile` lowers every kernel node of a
+  :class:`~repro.core.program.Program` through the executor's codegen
+  backend (LRU-cached per program), plans the intermediate buffers with
+  the :mod:`~repro.core.planner` liveness/arena pass, and allocates the
+  arena slabs once;
+* :meth:`Session.run` then executes repeated mini-batches with a single
+  flat dispatch loop over prebuilt buffer tables -- no per-op output
+  allocation, no per-op schedule lookups, no per-op report objects.
+
+The session also owns the state that previously lived in module-level
+globals: the per-mini-batch prelude memo, the shared
+:class:`~repro.core.prelude.PreludeCache`, and a generic builder memo used
+by the model layer.  :meth:`Session.reset` clears all of it
+deterministically, which tests and long-running processes rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.cache import LRUDict
+from repro.core.executor import CompiledKernel, Executor, shared_executor
+from repro.core.planner import ProgramPlan, plan_program
+from repro.core.prelude import PreludeCache
+from repro.core.program import (
+    HostNode,
+    KernelNode,
+    Program,
+    ProgramError,
+    ROLE_CONSTANT,
+    ROLE_INPUT,
+    ROLE_INTERMEDIATE,
+)
+from repro.core.ragged_tensor import RaggedTensor
+
+
+_KERNEL_STEP = 0
+_HOST_STEP = 1
+
+
+class CompiledProgram:
+    """One program compiled for one raggedness signature.
+
+    Holds the compiled kernels, the arena plan, the allocated slabs and a
+    flat list of dispatch steps with every buffer pre-resolved.
+    """
+
+    def __init__(self, program: Program, executor: Executor):
+        program.validate()
+        self.program = program
+        self.executor = executor
+
+        # 1. Lower + codegen every kernel node (shared executor cache).
+        self.kernels: Dict[int, CompiledKernel] = {}
+        for idx, node in enumerate(program.nodes):
+            if not isinstance(node, KernelNode):
+                continue
+            compiled = executor.compile(node.schedule,
+                                        input_layouts=node.input_layouts)
+            expected = set(compiled.lowered.input_plans)
+            bound = set(node.bindings)
+            if expected != bound:
+                raise ProgramError(
+                    f"kernel node {node.name!r} binds {sorted(bound)} but the "
+                    f"schedule's inputs are {sorted(expected)}")
+            out_name = node.outputs[0]
+            declared = program.values[out_name].layout.total_size()
+            actual = compiled.output_layout.total_size()
+            if declared != actual:
+                raise ProgramError(
+                    f"kernel node {node.name!r}: declared output layout has "
+                    f"{declared} elements but the compiled plan requires "
+                    f"{actual}")
+            self.kernels[idx] = compiled
+
+        # 2. Liveness + arena planning (sizes validated against the
+        #    compiled output plans above).
+        self.plan: ProgramPlan = plan_program(program)
+
+        # 3. Allocate the arena slabs and the persistent input staging
+        #    buffers once; every later run reuses them.
+        self._slabs: List[np.ndarray] = [
+            np.zeros(n, dtype=np.float32) for n in self.plan.slab_elements
+        ]
+        flat: Dict[str, np.ndarray] = {}
+        for name, spec in program.values.items():
+            if spec.role == ROLE_CONSTANT:
+                flat[name] = np.ascontiguousarray(
+                    spec.array, dtype=spec.dtype).reshape(-1)
+            elif spec.role == ROLE_INPUT:
+                flat[name] = np.zeros(spec.num_elements, dtype=spec.dtype)
+            else:
+                if np.dtype(spec.dtype) != np.float32:
+                    raise ProgramError(
+                        f"arena values must be float32, got {spec.dtype} "
+                        f"for {name!r}")
+                slab = self._slabs[self.plan.slab_of[name]]
+                flat[name] = slab[:self.plan.value_elements[name]]
+        self._flat = flat
+
+        # Materialised wrappers handed to host functions / returned as
+        # outputs: RaggedTensor for ragged values, shaped views for dense.
+        wrapped: Dict[str, Any] = {}
+        for name, spec in program.values.items():
+            if spec.is_ragged:
+                layout = spec.layout
+                idx = spec.producer
+                if idx in self.kernels:
+                    layout = self.kernels[idx].output_layout
+                wrapped[name] = RaggedTensor(layout, flat[name],
+                                             dtype=np.float32)
+            else:
+                wrapped[name] = flat[name].reshape(spec.shape)
+        self._wrapped = wrapped
+
+        # 4. Pre-resolve every dispatch step.
+        self._steps: List[Tuple] = []
+        for step_idx in self.plan.order:
+            node = program.nodes[step_idx]
+            if isinstance(node, KernelNode):
+                compiled = self.kernels[step_idx]
+                buffers = {tname: flat[vname]
+                           for tname, vname in node.bindings.items()}
+                out_flat = flat[node.outputs[0]]
+                buffers[compiled.lowered.output_plan.spec.name] = out_flat
+                self._steps.append((_KERNEL_STEP, compiled.generated, buffers,
+                                    compiled.lowered.aux_arrays, out_flat))
+            else:
+                args = tuple(wrapped[o] for o in node.outputs)
+                args += tuple(wrapped[i] for i in node.inputs)
+                prezero = (None if node.fills_output
+                           else tuple(flat[o] for o in node.outputs))
+                self._steps.append((_HOST_STEP, node.fn, args, prezero, None))
+
+        self._input_specs = [(v.name, flat[v.name], np.dtype(v.dtype))
+                             for v in program.input_values()]
+        self.run_count = 0
+        self.total_run_s = 0.0
+        self.last_run_s = 0.0
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def flops(self) -> int:
+        """Analytically counted FLOPs of all kernel nodes per execution."""
+        return int(sum(k.flops for k in self.kernels.values()))
+
+    @property
+    def arena_bytes(self) -> int:
+        return self.plan.arena_bytes
+
+    @property
+    def naive_bytes(self) -> int:
+        return self.plan.naive_bytes
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "program": self.program.name,
+            "nodes": len(self.program.nodes),
+            "kernels": len(self.kernels),
+            "runs": self.run_count,
+            "total_run_s": self.total_run_s,
+            "flops_per_run": self.flops,
+            **self.plan.summary(),
+        }
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
+            copy_outputs: bool = True) -> Dict[str, Any]:
+        """Execute the program once over bound inputs.
+
+        Input arrays are copied into the session's persistent staging
+        buffers (so the precompiled dispatch tables stay valid); kernel
+        outputs are zero-filled before dispatch, reproducing the fresh
+        ``RaggedTensor.zeros`` semantics of op-by-op execution bit for
+        bit.  Outputs are returned as copies unless ``copy_outputs`` is
+        false (views into the arena, only valid until the next run).
+        """
+        t0 = time.perf_counter()
+        for name, stage, dtype in self._input_specs:
+            try:
+                value = inputs[name]
+            except KeyError:
+                raise ProgramError(f"missing program input {name!r}") from None
+            src = value.data if isinstance(value, RaggedTensor) else \
+                np.asarray(value, dtype=dtype).reshape(-1)
+            if src.size != stage.size:
+                raise ProgramError(
+                    f"input {name!r} has {src.size} elements but the program "
+                    f"expects {stage.size}")
+            np.copyto(stage, src)
+
+        for kind, fn, args, aux, out_flat in self._steps:
+            if kind == _KERNEL_STEP:
+                out_flat.fill(0.0)
+                fn(args, aux)
+            else:
+                if aux is not None:  # host outputs needing pre-zeroing
+                    for buf in aux:
+                        buf.fill(0.0)
+                fn(*args)
+
+        result: Dict[str, Any] = {}
+        for name in self.program.outputs:
+            value = self._wrapped[name]
+            result[name] = value.copy() if copy_outputs else value
+        self.last_run_s = time.perf_counter() - t0
+        self.total_run_s += self.last_run_s
+        self.run_count += 1
+        return result
+
+
+class Session:
+    """Compiles ragged programs ahead of time and executes mini-batches.
+
+    Parameters
+    ----------
+    backend:
+        Codegen backend for kernel nodes (``"vector"`` / ``"scalar"``);
+        ignored when an explicit ``executor`` is given.
+    executor:
+        Optional :class:`~repro.core.executor.Executor` to compile through;
+        defaults to the process-wide shared executor of ``backend`` so
+        kernel caches are shared with op-by-op execution.
+    program_capacity:
+        LRU bound on compiled programs kept alive by this session.
+    """
+
+    def __init__(self, backend: str = "vector",
+                 executor: Optional[Executor] = None,
+                 program_capacity: int = 64,
+                 prelude_capacity: int = 128):
+        #: whether the executor is session-private (passed explicitly) or
+        #: the process-wide shared one -- ``reset`` only clears the kernel
+        #: cache of a private executor.
+        self._private_executor = executor is not None
+        self.executor = executor if executor is not None \
+            else shared_executor(backend)
+        self.backend = self.executor.backend.name
+        #: compiled programs, keyed by program uid (the program object is
+        #: pinned alongside so the uid stays unique for the entry's life).
+        self._programs: LRUDict = LRUDict(program_capacity)
+        #: generic builder memo used by the model layer (encoder programs).
+        self._memo: LRUDict = LRUDict(256)
+        #: prelude state previously held in module-level globals.
+        self.prelude_cache = PreludeCache(capacity=prelude_capacity)
+        self.prelude_memo: LRUDict = LRUDict(prelude_capacity)
+        self.prelude_memo_stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        self.program_compiles = 0
+        self.program_cache_hits = 0
+        self.run_count = 0
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile(self, program: Program) -> CompiledProgram:
+        """Compile a program (cached per program / raggedness signature)."""
+        entry = self._programs.get(program.uid)
+        if entry is not None:
+            self.program_cache_hits += 1
+            return entry[0]
+        self.program_compiles += 1
+        compiled = CompiledProgram(program, self.executor)
+        self._programs.put(program.uid, (compiled, program))
+        return compiled
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, program: Program,
+            inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
+            copy_outputs: bool = True) -> Dict[str, Any]:
+        """Compile (cached) and execute a program over bound inputs."""
+        compiled = self.compile(program)
+        result = compiled.run(inputs, copy_outputs=copy_outputs)
+        self.run_count += 1
+        return result
+
+    # -- memoization ------------------------------------------------------------
+
+    def memoize(self, key: Tuple, factory: Callable[[], Any]) -> Any:
+        """Generic LRU memo scoped to this session (cleared by ``reset``).
+
+        The model layer uses this to build each program once per
+        raggedness signature; entries may pin objects (weights, programs)
+        for their lifetime in the memo.
+        """
+        value = self._memo.get(key)
+        if value is None:
+            value = factory()
+            self._memo.put(key, value)
+        return value
+
+    # -- state management -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every cache and counter owned by this session.
+
+        Clears the compiled-program cache, the builder memo, and the
+        prelude memo/cache with their statistics.  A session-private
+        executor's kernel cache is cleared too; the process-wide shared
+        executor is left alone (other sessions and the op-by-op helpers
+        depend on it -- clear it explicitly via ``executor.clear_cache()``
+        if that is what you want).  Deterministic cleanup hook for tests
+        and long-running processes.
+        """
+        self._programs.clear()
+        self._memo.clear()
+        self.prelude_cache.clear()
+        self.prelude_cache.hits = 0
+        self.prelude_cache.misses = 0
+        self.prelude_memo.clear()
+        self.prelude_memo_stats["hits"] = 0
+        self.prelude_memo_stats["misses"] = 0
+        self.program_compiles = 0
+        self.program_cache_hits = 0
+        self.run_count = 0
+        if self._private_executor:
+            self.executor.clear_cache()
+
+    def stats(self) -> Dict[str, object]:
+        """Session counters plus the executor's codegen statistics."""
+        return {
+            "backend": self.backend,
+            "program_compiles": self.program_compiles,
+            "program_cache_hits": self.program_cache_hits,
+            "runs": self.run_count,
+            "cached_programs": len(self._programs),
+            "prelude_memo": dict(self.prelude_memo_stats),
+            "codegen": self.executor.codegen_stats(),
+        }
+
+
+#: Process-wide default sessions, one per backend name (mirrors
+#: ``shared_executor``); the model-layer convenience paths route through
+#: these so program and prelude caches persist across calls.
+_DEFAULT_SESSIONS: Dict[str, Session] = {}
+
+
+def default_session(backend: str = "vector") -> Session:
+    """The process-wide default :class:`Session` for the given backend."""
+    session = _DEFAULT_SESSIONS.get(backend)
+    if session is None:
+        session = Session(backend=backend)
+        _DEFAULT_SESSIONS[backend] = session
+    return session
+
+
+def reset_default_sessions() -> None:
+    """Reset every process-wide default session (tests / long processes)."""
+    for session in _DEFAULT_SESSIONS.values():
+        session.reset()
+
+
+#: Sessions wrapped around explicitly-passed executors, keyed weakly by
+#: the executor object: repeated calls with the same executor reuse one
+#: session (and hence its compiled programs / arena) instead of paying
+#: full AOT compilation per call.  Entries die with their executor.
+_EXECUTOR_SESSIONS: "weakref.WeakKeyDictionary[Executor, Session]" = None
+
+
+def session_for_executor(executor: Executor) -> Session:
+    """The memoized :class:`Session` wrapping an explicit executor."""
+    global _EXECUTOR_SESSIONS
+    if _EXECUTOR_SESSIONS is None:
+        import weakref
+
+        _EXECUTOR_SESSIONS = weakref.WeakKeyDictionary()
+    session = _EXECUTOR_SESSIONS.get(executor)
+    if session is None:
+        session = Session(executor=executor)
+        _EXECUTOR_SESSIONS[executor] = session
+    return session

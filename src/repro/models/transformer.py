@@ -30,16 +30,34 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.cache import LRUDict
 from repro.core.extents import ceil_to
 from repro.core.prelude import PreludeBuilder, bulk_pad_lengths
-from repro.core.ragged_tensor import ragged_from_lengths
+from repro.core.program import Program
+from repro.core.session import Session, default_session
 from repro.core.storage import RaggedLayout
 from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
-from repro.ops.attention import attnv_launch, qkt_launch, sdpa_slices
-from repro.ops.elementwise import elementwise_launch, padding_change_launch
-from repro.ops.layernorm import layernorm_flat, layernorm_launch, layernorm_slices
+from repro.ops.attention import (
+    attn_merge_node,
+    attnv_launch,
+    qkt_launch,
+    qkv_split_node,
+    sdpa_nodes,
+    sdpa_slices,
+)
+from repro.ops.elementwise import (
+    add_node,
+    elementwise_launch,
+    padding_change_launch,
+    relu_node,
+)
+from repro.ops.layernorm import (
+    layernorm_flat,
+    layernorm_launch,
+    layernorm_node,
+    layernorm_slices,
+)
 from repro.ops.projection import (
+    linear_node,
     linear_packed,
     pack_tokens,
     projection_launch,
@@ -54,59 +72,62 @@ from repro.substrates.costmodel import KernelLaunch, Workload
 # ---------------------------------------------------------------------------
 
 
-#: Memoized prelude results keyed by the mini-batch sequence-length tuple
-#: (paper insight I1: raggedness is known up front and shared across all
-#: layers, so the aux arrays are built once per mini-batch, not per kernel).
-#: The fusion-map arrays themselves are shared through a
-#: :class:`~repro.core.prelude.PreludeCache` so other prelude consumers
-#: reuse the same memoized arrays.  Both memos are LRU-bounded so a
-#: long-running process seeing many distinct mini-batches cannot grow
-#: without bound.  Hits return a copy so caller mutation cannot corrupt
-#: the memoized entry.
-_PRELUDE_MEMO: LRUDict = LRUDict(capacity=128)
-_PRELUDE_MEMO_STATS = {"hits": 0, "misses": 0}
-_PRELUDE_CACHE = None
-
-
-def _shared_prelude_cache():
-    global _PRELUDE_CACHE
-    if _PRELUDE_CACHE is None:
-        from repro.core.prelude import PreludeCache
-
-        _PRELUDE_CACHE = PreludeCache()
-    return _PRELUDE_CACHE
+#: The per-mini-batch prelude memo (paper insight I1: raggedness is known
+#: up front and shared across all layers, so the aux arrays are built once
+#: per mini-batch, not per kernel) now lives on the
+#: :class:`~repro.core.session.Session` -- ``session.prelude_memo`` /
+#: ``session.prelude_cache`` / ``session.prelude_memo_stats`` -- so tests
+#: and long-running processes can clear it deterministically through
+#: ``Session.reset()``.  The module-level helpers below are thin
+#: deprecated shims over the process-wide default session.
 
 
 def prelude_memo_stats() -> Dict[str, int]:
-    """Hit/miss counters of the per-mini-batch prelude memo (for tests)."""
-    return dict(_PRELUDE_MEMO_STATS)
+    """Hit/miss counters of the per-mini-batch prelude memo (for tests).
+
+    .. deprecated:: use ``default_session().prelude_memo_stats``.
+    """
+    return dict(default_session().prelude_memo_stats)
 
 
 def clear_prelude_memo() -> None:
-    _PRELUDE_MEMO.clear()
-    _PRELUDE_MEMO_STATS["hits"] = 0
-    _PRELUDE_MEMO_STATS["misses"] = 0
-    if _PRELUDE_CACHE is not None:
-        _PRELUDE_CACHE.clear()
+    """Clear the default session's prelude memo and cache.
+
+    .. deprecated:: use ``default_session().reset()`` (which also clears
+       the compiled-program and kernel caches) for full determinism.
+    """
+    session = default_session()
+    session.prelude_memo.clear()
+    session.prelude_memo_stats["hits"] = 0
+    session.prelude_memo_stats["misses"] = 0
+    session.prelude_cache.clear()
+
+
+def _shared_prelude_cache():
+    """Deprecated shim: the default session's :class:`PreludeCache`."""
+    return default_session().prelude_cache
 
 
 def _prelude_overheads(lengths: np.ndarray, config: TransformerConfig,
-                       on_gpu: bool) -> Dict[str, float]:
+                       on_gpu: bool,
+                       session: Optional[Session] = None) -> Dict[str, float]:
     """Prelude time and auxiliary bytes for one mini-batch (shared across layers)."""
+    session = session or default_session()
     key = (tuple(int(s) for s in lengths), config.hidden_size,
            config.num_heads, config.loop_pad, bool(on_gpu))
-    cached = _PRELUDE_MEMO.get(key)
+    cached = session.prelude_memo.get(key)
     if cached is not None:
-        _PRELUDE_MEMO_STATS["hits"] += 1
+        session.prelude_memo_stats["hits"] += 1
         return dict(cached)
-    _PRELUDE_MEMO_STATS["misses"] += 1
-    result = _build_prelude_overheads(lengths, config, on_gpu)
-    _PRELUDE_MEMO.put(key, result)
+    session.prelude_memo_stats["misses"] += 1
+    result = _build_prelude_overheads(lengths, config, on_gpu, session=session)
+    session.prelude_memo.put(key, result)
     return dict(result)
 
 
 def _build_prelude_overheads(lengths: np.ndarray, config: TransformerConfig,
-                             on_gpu: bool) -> Dict[str, float]:
+                             on_gpu: bool,
+                             session: Optional[Session] = None) -> Dict[str, float]:
     from repro.core.dims import Dim
     from repro.core.extents import ConstExtent, VarExtent
 
@@ -125,7 +146,8 @@ def _build_prelude_overheads(lengths: np.ndarray, config: TransformerConfig,
              ConstExtent(config.num_heads), ConstExtent(1)],
         ),
     }
-    builder = PreludeBuilder(cache=_shared_prelude_cache())
+    cache = (session or default_session()).prelude_cache
+    builder = PreludeBuilder(cache=cache)
     result = builder.build(
         layouts,
         fused_loops={"tokens": (lengths, 1)},
@@ -425,6 +447,27 @@ class EncoderWeights:
     ln2_beta: np.ndarray
 
     @classmethod
+    def zeros(cls, config: TransformerConfig) -> "EncoderWeights":
+        """All-zero weights (identity-free): cheap to build at paper scale,
+        used by the analytical memory model to declare the encoder program
+        without paying for random initialisation."""
+        h, f = config.hidden_size, config.ff_size
+        return cls(
+            wqkv=np.zeros((h, 3 * h), dtype=np.float32),
+            bqkv=np.zeros(3 * h, dtype=np.float32),
+            wo=np.zeros((h, h), dtype=np.float32),
+            bo=np.zeros(h, dtype=np.float32),
+            w1=np.zeros((h, f), dtype=np.float32),
+            b1=np.zeros(f, dtype=np.float32),
+            w2=np.zeros((f, h), dtype=np.float32),
+            b2=np.zeros(h, dtype=np.float32),
+            ln1_gamma=np.ones(h, dtype=np.float32),
+            ln1_beta=np.zeros(h, dtype=np.float32),
+            ln2_gamma=np.ones(h, dtype=np.float32),
+            ln2_beta=np.zeros(h, dtype=np.float32),
+        )
+
+    @classmethod
     def random(cls, config: TransformerConfig, seed: int = 0) -> "EncoderWeights":
         rng = np.random.default_rng(seed)
         h, f = config.hidden_size, config.ff_size
@@ -460,6 +503,80 @@ class EncoderLayerResult:
         return out
 
 
+def build_encoder_program(
+    lengths: Sequence[int],
+    weights: EncoderWeights,
+    config: TransformerConfig = PAPER_BASE_CONFIG,
+    masked: bool = False,
+) -> Program:
+    """Declare the CoRa encoder layer as a ragged program graph.
+
+    The program's single input is the packed (vloop-fused) ``(tokens,
+    hidden)`` matrix; its single marked output, ``"out_tokens"``, is the
+    packed result of the second layer normalisation.  The graph carries
+    the full 9-kernel CoRa structure of Figure 3: fused linear projections
+    and layer norms as host nodes over the packed token matrix, and the
+    SDPA operators (QK^T, the optionally causal-masked ragged softmax,
+    AttnV) as compiled kernel nodes reusing the op-by-op schedules -- so a
+    :class:`~repro.core.session.Session` compiles the whole layer ahead of
+    time and executes it with a flat dispatch loop over arena buffers.
+
+    The weight arrays are *referenced* as program constants, not copied;
+    treat them as immutable for the program's lifetime.
+    """
+    lengths = [int(n) for n in lengths]
+    total = sum(lengths)
+    h = config.hidden_size
+    heads, d = config.num_heads, config.head_size
+
+    program = Program(
+        f"encoder[{'masked' if masked else 'unmasked'}]"
+        f"b{len(lengths)}t{total}")
+    tokens = program.add_input("tokens", shape=(total, h))
+    qkv = linear_node(program, tokens, weights.wqkv, weights.bqkv,
+                      name="proj1", out="qkv")
+    q, k, v = qkv_split_node(program, qkv, lengths, heads, d)
+    attn = sdpa_nodes(program, q, k, v, lengths, heads, d, masked=masked)
+    attn_tokens = attn_merge_node(program, attn, lengths, heads, d,
+                                  out="attn_tokens")
+    proj = linear_node(program, attn_tokens, weights.wo, weights.bo,
+                       name="proj2", out="proj")
+    resid1 = add_node(program, proj, tokens, name="resid1")
+    norm1 = layernorm_node(program, resid1, weights.ln1_gamma,
+                           weights.ln1_beta, name="ln1")
+    ff1_lin = linear_node(program, norm1, weights.w1, weights.b1,
+                          name="ff1", out="ff1.lin")
+    ff1 = relu_node(program, ff1_lin, name="ff1.relu")
+    ff2 = linear_node(program, ff1, weights.w2, weights.b2, name="ff2")
+    resid2 = add_node(program, ff2, norm1, name="resid2")
+    out_tokens = layernorm_node(program, resid2, weights.ln2_gamma,
+                                weights.ln2_beta, name="ln2",
+                                out="out_tokens")
+    program.mark_output(out_tokens)
+    return program
+
+
+def encoder_program(
+    lengths: Sequence[int],
+    weights: EncoderWeights,
+    config: TransformerConfig = PAPER_BASE_CONFIG,
+    masked: bool = False,
+    session: Optional[Session] = None,
+) -> Program:
+    """The encoder program for one raggedness signature, memoized on the
+    session (keyed by lengths, weights identity, config and masking; the
+    weights object is pinned for the lifetime of the memo entry)."""
+    session = session or default_session()
+    lengths = tuple(int(n) for n in lengths)
+    key = ("encoder-program", lengths, id(weights), bool(masked),
+           config.hidden_size, config.num_heads, config.head_size,
+           config.ff_size)
+    program, _pinned = session.memoize(
+        key, lambda: (build_encoder_program(lengths, weights, config,
+                                            masked), weights))
+    return program
+
+
 def run_encoder_layer_numeric(
     hidden: Sequence[np.ndarray],
     weights: EncoderWeights,
@@ -467,10 +584,49 @@ def run_encoder_layer_numeric(
     masked: bool = False,
     backend: Optional[str] = None,
     executor: Optional[object] = None,
+    session: Optional[Session] = None,
 ) -> EncoderLayerResult:
     """Run one encoder layer numerically on ragged inputs.
 
+    A thin wrapper over :meth:`Session.run`: the layer is declared once
+    per raggedness signature as a ragged program
+    (:func:`build_encoder_program`), compiled ahead of time -- one shared
+    prelude build, every SDPA kernel lowered and vectorized through the
+    executor's codegen backend, intermediates planned into reusable arena
+    slabs -- and then executed as a flat dispatch loop.
+
     ``hidden`` is a list of per-sequence ``(length, hidden)`` matrices.
+    ``backend`` (``"vector"`` default / ``"scalar"``) selects the codegen
+    backend of the default session; pass an explicit ``executor`` or
+    ``session`` to control caching and observe codegen statistics.  The
+    op-by-op path is kept as :func:`run_encoder_layer_opbyop` and remains
+    bit-identical to this program path for both masked variants.
+    """
+    if session is None:
+        if executor is not None:
+            from repro.core.session import session_for_executor
+
+            session = session_for_executor(executor)
+        else:
+            session = default_session(backend or "vector")
+    lengths = [h.shape[0] for h in hidden]
+    program = encoder_program(lengths, weights, config, masked=masked,
+                              session=session)
+    out = session.run(program, {"tokens": pack_tokens(hidden)})["out_tokens"]
+    return EncoderLayerResult(hidden=unpack_tokens(out, lengths))
+
+
+def run_encoder_layer_opbyop(
+    hidden: Sequence[np.ndarray],
+    weights: EncoderWeights,
+    config: TransformerConfig = PAPER_BASE_CONFIG,
+    masked: bool = False,
+    backend: Optional[str] = None,
+    executor: Optional[object] = None,
+) -> EncoderLayerResult:
+    """The op-by-op numeric path: one dispatch and one fresh output
+    allocation per operator.
+
     Linear operators run on the packed (vloop-fused) token matrix; the SDPA
     operators run per sequence -- mirroring CoRa's implementation structure.
 
@@ -479,7 +635,10 @@ def run_encoder_layer_numeric(
     (lowering + codegen with that backend) instead of the NumPy reference.
     ``masked=True`` routes through the compiled causal-mask kernel chain
     (:func:`repro.ops.softmax.masked_softmax_compiled`); the NumPy
-    reference stays the differential oracle for both variants.
+    reference stays the differential oracle for both variants.  This path
+    is the baseline the program runtime is benchmarked and differentially
+    tested against (``Session.run`` output is bit-identical to it when
+    both use compiled SDPA).
     """
     lengths = [h.shape[0] for h in hidden]
     h_size = config.hidden_size

@@ -323,6 +323,120 @@ def attnv_split_compiled(attn: Sequence[np.ndarray], v: Sequence[np.ndarray],
 
 
 # ---------------------------------------------------------------------------
+# Program-graph node builders
+# ---------------------------------------------------------------------------
+
+
+def qkt_node(program: "Program", q: str, k: str, lengths: Sequence[int],
+             heads: int, head_size: int, scale: Optional[float] = None,
+             name: str = "qkt", out: Optional[str] = None) -> str:
+    """Append the ``Q K^T`` kernel to a program graph.
+
+    ``q`` / ``k`` name ``[batch, heads, s(b), head_size]`` ragged values;
+    the output value holds the ``[batch, heads, s(b), s(b)]`` scores.
+    Reuses the memoized schedule of :func:`qkt_compiled`, so session
+    compilation hits the same executor kernel cache.
+    """
+    from repro.ops.softmax import attention_scores_layout
+
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    schedule = _qkt_schedule(lens.tobytes(), int(heads), int(head_size),
+                             None if scale is None else float(scale))
+    return program.add_kernel(name, schedule, {"Q": q, "K": k},
+                              attention_scores_layout(lens, heads), out=out)
+
+
+def attnv_node(program: "Program", attn: str, v: str, lengths: Sequence[int],
+               heads: int, head_size: int, name: str = "attnv",
+               out: Optional[str] = None) -> str:
+    """Append the AttnV kernel (``probabilities @ V``) to a program graph."""
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    schedule = _attnv_schedule(lens.tobytes(), int(heads), int(head_size))
+    return program.add_kernel(name, schedule, {"Attn": attn, "V": v},
+                              _qkv_layout(lens, int(heads), int(head_size)),
+                              out=out)
+
+
+def qkv_split_node(program: "Program", qkv: str, lengths: Sequence[int],
+                   heads: int, head_size: int, prefix: str = "qkv",
+                   ) -> Tuple[str, str, str]:
+    """Split a packed ``(tokens, 3 * hidden)`` QKV matrix into per-sequence
+    ``[batch, heads, s(b), head_size]`` ragged Q / K / V values.
+
+    A host marshalling node: the same reshape/transpose the op-by-op
+    numeric path performs, writing straight into the planned arena
+    buffers.
+    """
+    lens = [int(s) for s in np.asarray(lengths, dtype=np.int64)]
+    lens_arr = np.ascontiguousarray(lens, dtype=np.int64)
+    heads, head_size = int(heads), int(head_size)
+
+    def _split(q_t, k_t, v_t, qkv_mat):
+        start = 0
+        for b, s in enumerate(lens):
+            sl = qkv_mat[start:start + s]
+            reshaped = sl.reshape(s, 3, heads, head_size).transpose(1, 2, 0, 3)
+            q_t.set_slice(b, reshaped[0])
+            k_t.set_slice(b, reshaped[1])
+            v_t.set_slice(b, reshaped[2])
+            start += s
+
+    return program.add_host(
+        f"{prefix}.split", _split, [qkv],
+        output_layouts={
+            f"{prefix}.q": _qkv_layout(lens_arr, heads, head_size),
+            f"{prefix}.k": _qkv_layout(lens_arr, heads, head_size),
+            f"{prefix}.v": _qkv_layout(lens_arr, heads, head_size),
+        },
+        fills_output=True)
+
+
+def attn_merge_node(program: "Program", attn: str, lengths: Sequence[int],
+                    heads: int, head_size: int, name: str = "attn.merge",
+                    out: Optional[str] = None) -> str:
+    """Merge per-sequence ``[heads, s(b), head_size]`` attention outputs
+    back into the packed ``(tokens, hidden)`` matrix (host marshalling)."""
+    lens = [int(s) for s in np.asarray(lengths, dtype=np.int64)]
+    heads, head_size = int(heads), int(head_size)
+    total = sum(lens)
+
+    def _merge(out_mat, attn_t):
+        start = 0
+        for b, s in enumerate(lens):
+            a = attn_t.valid_slice(b)
+            out_mat[start:start + s] = a.transpose(1, 0, 2).reshape(
+                s, heads * head_size)
+            start += s
+
+    (value,) = program.add_host(
+        name, _merge, [attn],
+        output_shapes={out or name: (total, heads * head_size)},
+        fills_output=True)
+    return value
+
+
+def sdpa_nodes(program: "Program", q: str, k: str, v: str,
+               lengths: Sequence[int], heads: int, head_size: int,
+               masked: bool = False, prefix: str = "sdpa") -> str:
+    """Append the full SDPA kernel chain to a program graph: scaled QK^T,
+    the (optionally causal-masked) four/five-kernel softmax, and AttnV --
+    the same compiled chain :func:`sdpa_compiled` dispatches op by op."""
+    from repro.ops.softmax import masked_softmax_nodes, softmax_nodes
+
+    scale = 1.0 / float(np.sqrt(head_size))
+    scores = qkt_node(program, q, k, lengths, heads, head_size, scale=scale,
+                      name=f"{prefix}.qkt", out=f"{prefix}.scores")
+    if masked:
+        probs = masked_softmax_nodes(program, scores, lengths, heads,
+                                     prefix=f"{prefix}.softmax")
+    else:
+        probs = softmax_nodes(program, scores, lengths, heads,
+                              prefix=f"{prefix}.softmax")
+    return attnv_node(program, probs, v, lengths, heads, head_size,
+                      name=f"{prefix}.attnv", out=f"{prefix}.attn")
+
+
+# ---------------------------------------------------------------------------
 # Workload builders
 # ---------------------------------------------------------------------------
 

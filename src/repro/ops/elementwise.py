@@ -58,6 +58,35 @@ def residual_add(x: RaggedTensor, residual: RaggedTensor) -> RaggedTensor:
     return add(x, residual)
 
 
+# -- program-graph node builders -----------------------------------------------
+
+
+def add_node(program: "Program", x: str, y: str, name: str = "add",
+             out: str = None) -> str:
+    """Append an elementwise sum of two dense values (residual adds)."""
+    def _add(out_mat, a, b):
+        np.add(a, b, out=out_mat)
+
+    (value,) = program.add_host(
+        name, _add, [x, y],
+        output_shapes={out or name: program.dense_shape_of(x)},
+        fills_output=True)
+    return value
+
+
+def relu_node(program: "Program", x: str, name: str = "relu",
+              out: str = None) -> str:
+    """Append a rectified linear unit over a dense value."""
+    def _relu(out_mat, a):
+        np.maximum(a, 0.0, out=out_mat)
+
+    (value,) = program.add_host(
+        name, _relu, [x],
+        output_shapes={out or name: program.dense_shape_of(x)},
+        fills_output=True)
+    return value
+
+
 # -- workload description -----------------------------------------------------
 
 

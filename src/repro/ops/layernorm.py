@@ -39,6 +39,33 @@ def layernorm_flat(tokens: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
     return (tokens - mean) / np.sqrt(var + eps) * gamma + beta
 
 
+# -- program-graph node builder -----------------------------------------------
+
+
+def layernorm_node(program: "Program", tokens: str, gamma: np.ndarray,
+                   beta: np.ndarray, eps: float = 1e-5,
+                   name: str = "layernorm", out: str = None) -> str:
+    """Append a packed-token layer normalisation to a program graph.
+
+    ``tokens`` names a dense ``(total_tokens, hidden)`` value; gamma/beta
+    become program constants and the host step applies
+    :func:`layernorm_flat` into the planned output buffer.
+    """
+    g = program.add_constant(f"{name}.gamma",
+                             np.asarray(gamma, dtype=np.float32))
+    b = program.add_constant(f"{name}.beta",
+                             np.asarray(beta, dtype=np.float32))
+
+    def _layernorm(out_mat, toks, g_vec, b_vec):
+        out_mat[...] = layernorm_flat(toks, g_vec, b_vec, eps=eps)
+
+    (value,) = program.add_host(
+        name, _layernorm, [tokens, g, b],
+        output_shapes={out or name: program.dense_shape_of(tokens)},
+        fills_output=True)
+    return value
+
+
 def layernorm_launch(total_tokens: float, hidden: int,
                      impl_class: str = "compiler",
                      name: str = "LayerNorm") -> KernelLaunch:

@@ -12,7 +12,7 @@ synthetic padding "sequence" that makes the total token count a multiple of
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +59,42 @@ def linear_slices(hidden: Sequence[np.ndarray], weight: np.ndarray,
             y = y + bias
         out.append(y)
     return out
+
+
+# -- program-graph node builder -----------------------------------------------
+
+
+def linear_node(program: "Program", tokens: str, weight: np.ndarray,
+                bias: Optional[np.ndarray] = None, name: str = "linear",
+                out: Optional[str] = None) -> str:
+    """Append a packed (fused-vloop) linear transformation to a program.
+
+    ``tokens`` names a dense ``(total_tokens, in_features)`` value; the
+    weight (and optional bias) become program constants.  The host step
+    writes ``tokens @ weight + bias`` straight into the planned output
+    buffer -- the runtime form of CoRa's fused projection operators.
+    """
+    weight = np.asarray(weight, dtype=np.float32)
+    w = program.add_constant(f"{name}.w", weight)
+    inputs = [tokens, w]
+    if bias is not None:
+        inputs.append(program.add_constant(
+            f"{name}.b", np.asarray(bias, dtype=np.float32)))
+
+    if bias is None:
+        def _linear(out_mat, toks, w_mat):
+            np.matmul(toks, w_mat, out=out_mat)
+    else:
+        def _linear(out_mat, toks, w_mat, b_vec):
+            np.matmul(toks, w_mat, out=out_mat)
+            out_mat += b_vec
+
+    n_tokens = program.dense_shape_of(tokens)[0]
+    (value,) = program.add_host(
+        name, _linear, inputs,
+        output_shapes={out or name: (n_tokens, int(weight.shape[1]))},
+        fills_output=True)
+    return value
 
 
 def projection_launch(

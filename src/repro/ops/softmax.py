@@ -78,6 +78,18 @@ def attention_scores_layout(lengths: Sequence[int], num_heads: int,
          VarExtent(batch, lens), VarExtent(batch, lens)])
 
 
+def attention_rows_layout(lengths: Sequence[int], num_heads: int,
+                          ) -> RaggedLayout:
+    """Layout of a per-row attention reduction ``[batch, heads, s(b)]``
+    (the row-max and row-sum tensors of the softmax chain)."""
+    lens = np.asarray(lengths, dtype=np.int64)
+    batch = Dim("batch")
+    return RaggedLayout(
+        [batch, Dim("head"), Dim("qi")],
+        [ConstExtent(lens.size), ConstExtent(num_heads),
+         VarExtent(batch, lens)])
+
+
 @lru_cache(maxsize=64)
 def _softmax_schedules(lens_bytes: bytes, heads: int,
                        ) -> Tuple[Schedule, Schedule, Schedule, Schedule]:
@@ -215,6 +227,50 @@ def masked_softmax_compiled(scores: Sequence[np.ndarray],
         mask_sch, {"S": s_tensor, "Mask": causal_mask_matrix(max_len)})
     p_out, reports = _softmax_chain(masked, lens, heads, executor)
     return [p_out.valid_slice(b) for b in range(bsz)], [rep] + reports
+
+
+# -- program-graph node builders ---------------------------------------------------
+
+
+def softmax_nodes(program: "Program", scores: str, lengths: Sequence[int],
+                  num_heads: int, prefix: str = "softmax") -> str:
+    """Append the four-kernel ragged softmax chain to a program graph.
+
+    ``scores`` names a ``[batch, heads, s(b), s(b)]`` ragged value; the
+    returned value name holds the row-normalised probabilities.  The
+    schedules are the same memoized objects :func:`softmax_compiled` uses,
+    so a session compiling the program shares the executor's kernel cache
+    with op-by-op execution.
+    """
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    max_sch, exp_sch, sum_sch, div_sch = _softmax_schedules(lens.tobytes(),
+                                                           int(num_heads))
+    rows = lambda: attention_rows_layout(lens, num_heads)
+    mat = lambda: attention_scores_layout(lens, num_heads)
+    m = program.add_kernel(f"{prefix}.max", max_sch, {"S": scores},
+                           rows(), out=f"{prefix}.m")
+    e = program.add_kernel(f"{prefix}.exp", exp_sch, {"S": scores, "M": m},
+                           mat(), out=f"{prefix}.e")
+    z = program.add_kernel(f"{prefix}.sum", sum_sch, {"E": e},
+                           rows(), out=f"{prefix}.z")
+    return program.add_kernel(f"{prefix}.div", div_sch, {"E": e, "Z": z},
+                              mat(), out=f"{prefix}.p")
+
+
+def masked_softmax_nodes(program: "Program", scores: str,
+                         lengths: Sequence[int], num_heads: int,
+                         prefix: str = "softmax") -> str:
+    """Causal-masked softmax as program nodes: the additive triangular-mask
+    kernel (a dense mask constant shared across the batch) followed by the
+    standard four-kernel chain of :func:`softmax_nodes`."""
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    max_len = max(int(lens.max()) if lens.size else 0, 1)
+    mask_sch = _mask_schedule(lens.tobytes(), int(num_heads), max_len)
+    mask = program.add_constant(f"{prefix}.mask", causal_mask_matrix(max_len))
+    masked = program.add_kernel(
+        f"{prefix}.addmask", mask_sch, {"S": scores, "Mask": mask},
+        attention_scores_layout(lens, num_heads), out=f"{prefix}.sm")
+    return softmax_nodes(program, masked, lens, num_heads, prefix=prefix)
 
 
 def softmax_launch(lengths: Sequence[int], num_heads: int,

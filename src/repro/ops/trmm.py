@@ -99,6 +99,22 @@ def make_trmm_schedule(n: int) -> Schedule:
     return Schedule(op)
 
 
+def trmm_node(program: "Program", lower: str, dense: str, n: int,
+              name: str = "trmm", out: Optional[str] = None) -> str:
+    """Append the triangular matmul kernel to a program graph.
+
+    ``lower`` / ``dense`` name dense ``(n, n)`` values; the memoized
+    variable-reduction-bound schedule of :func:`trmm_compiled` is reused.
+    """
+    from repro.core.storage import RaggedLayout
+
+    n = int(n)
+    out_layout = RaggedLayout([Dim("row"), Dim("col")],
+                              [ConstExtent(n), ConstExtent(n)])
+    return program.add_kernel(name, make_trmm_schedule(n),
+                              {"L": lower, "B": dense}, out_layout, out=out)
+
+
 def trmm_compiled(lower: np.ndarray, dense: np.ndarray,
                   backend: str = "vector",
                   executor: Optional["Executor"] = None,

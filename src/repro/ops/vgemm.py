@@ -167,14 +167,13 @@ def _vgemm_schedule_memo(ms_bytes: bytes, ns_bytes: bytes,
     return Schedule(op)
 
 
-def vgemm_ragged_inputs(a_list: Sequence[np.ndarray],
-                        b_list: Sequence[np.ndarray]) -> Dict[str, RaggedTensor]:
-    """Pack the per-instance matrices into the ragged input tensors of
-    :func:`make_vgemm_schedule`."""
-    ms = np.asarray([a.shape[0] for a in a_list], dtype=np.int64)
-    ks = np.asarray([a.shape[1] for a in a_list], dtype=np.int64)
-    ns = np.asarray([b.shape[1] for b in b_list], dtype=np.int64)
-    bsz = len(a_list)
+def vgemm_layouts(ms: Sequence[int], ns: Sequence[int], ks: Sequence[int],
+                  ) -> Tuple[RaggedLayout, RaggedLayout, RaggedLayout]:
+    """The ragged layouts of the A / B / C tensors of one vgemm batch."""
+    ms = np.asarray(ms, dtype=np.int64)
+    ns = np.asarray(ns, dtype=np.int64)
+    ks = np.asarray(ks, dtype=np.int64)
+    bsz = int(ms.size)
     batch = Dim("batch")
     layout_a = RaggedLayout(
         [batch, Dim("ar"), Dim("ac")],
@@ -182,10 +181,39 @@ def vgemm_ragged_inputs(a_list: Sequence[np.ndarray],
     layout_b = RaggedLayout(
         [batch, Dim("br"), Dim("bc")],
         [ConstExtent(bsz), VarExtent(batch, ks), VarExtent(batch, ns)])
+    layout_c = RaggedLayout(
+        [batch, Dim("cr"), Dim("cc")],
+        [ConstExtent(bsz), VarExtent(batch, ms), VarExtent(batch, ns)])
+    return layout_a, layout_b, layout_c
+
+
+def vgemm_ragged_inputs(a_list: Sequence[np.ndarray],
+                        b_list: Sequence[np.ndarray]) -> Dict[str, RaggedTensor]:
+    """Pack the per-instance matrices into the ragged input tensors of
+    :func:`make_vgemm_schedule`."""
+    ms = [a.shape[0] for a in a_list]
+    ks = [a.shape[1] for a in a_list]
+    ns = [b.shape[1] for b in b_list]
+    layout_a, layout_b, _ = vgemm_layouts(ms, ns, ks)
     return {
         "A": RaggedTensor.from_slices(layout_a, list(a_list)),
         "B": RaggedTensor.from_slices(layout_b, list(b_list)),
     }
+
+
+def vgemm_node(program: "Program", a: str, b: str, ms: Sequence[int],
+               ns: Sequence[int], ks: Sequence[int], name: str = "vgemm",
+               out: Optional[str] = None) -> str:
+    """Append the variable-sized batched matmul kernel to a program graph.
+
+    ``a`` / ``b`` name ragged values laid out per :func:`vgemm_layouts`;
+    the memoized schedule of :func:`vgemm_compiled` is reused so session
+    compilation shares the executor's kernel cache.
+    """
+    _, _, layout_c = vgemm_layouts(ms, ns, ks)
+    schedule = make_vgemm_schedule(ms, ns, ks)
+    return program.add_kernel(name, schedule, {"A": a, "B": b}, layout_c,
+                              out=out)
 
 
 def vgemm_compiled(a_list: Sequence[np.ndarray], b_list: Sequence[np.ndarray],

@@ -195,13 +195,16 @@ class TestEncoderLayerBackend:
         from repro.models.transformer import (
             EncoderWeights,
             run_encoder_layer_numeric,
+            run_encoder_layer_opbyop,
         )
 
         weights = EncoderWeights.random(SMALL_CONFIG, seed=0)
         rng = np.random.default_rng(1)
         hidden = [rng.standard_normal((s, SMALL_CONFIG.hidden_size))
                   .astype(np.float32) for s in (5, 3, 4)]
-        ref = run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG)
+        # The pure-NumPy op-by-op path stays the differential oracle; the
+        # session-backed path is compared against it for both backends.
+        ref = run_encoder_layer_opbyop(hidden, weights, SMALL_CONFIG)
         for backend in BACKENDS:
             got = run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG,
                                             backend=backend)
@@ -212,14 +215,15 @@ class TestEncoderLayerBackend:
         from repro.models.transformer import (
             EncoderWeights,
             run_encoder_layer_numeric,
+            run_encoder_layer_opbyop,
         )
 
         weights = EncoderWeights.random(SMALL_CONFIG, seed=0)
         rng = np.random.default_rng(2)
         hidden = [rng.standard_normal((s, SMALL_CONFIG.hidden_size))
                   .astype(np.float32) for s in (5, 3, 4)]
-        ref = run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG,
-                                        masked=True)
+        ref = run_encoder_layer_opbyop(hidden, weights, SMALL_CONFIG,
+                                       masked=True)
         for backend in BACKENDS:
             got = run_encoder_layer_numeric(hidden, weights, SMALL_CONFIG,
                                             masked=True, backend=backend)
