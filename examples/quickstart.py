@@ -5,10 +5,11 @@ an elementwise operator over a batch of variable-length sequences.  It
 shows the three stages of the pipeline -- describing the computation,
 scheduling it (padding + loop fusion), and executing the generated kernel --
 and prints the generated Python kernel so you can see the prelude-built
-auxiliary arrays being indexed.  A final section lifts the operator into
-the program runtime: declared as a one-node :class:`repro.Program` and
-executed through a :class:`repro.Session`, which compiles ahead of time
-and replays mini-batches without per-op dispatch.
+auxiliary arrays being indexed.  The final sections lift the operator
+into the program runtime: declared as a one-node :class:`repro.Program`
+and executed through a :class:`repro.Session`, which compiles ahead of
+time and replays mini-batches without per-op dispatch, then chained into
+a two-stage pipeline with :meth:`repro.Session.run_stack`.
 
 Run with:  python examples/quickstart.py
 """
@@ -119,6 +120,26 @@ def main() -> None:
           f"{result.allclose(out)}")
     print(f"session stats: {session.stats()['codegen']['backend']} backend, "
           f"{session.stats()['program_compiles']} program compile(s)")
+
+    # ------------------------------------------------------------------ #
+    # 5. Program stacks: run_stack pipes one program's output into the
+    #    next program's input -- here the doubling program followed by a
+    #    second (unpadded-input) doubling stage, so the result is 4 * A.
+    #    An N-layer transformer declared as ONE stacked program goes
+    #    further: a single arena plan spans all layers (see
+    #    examples/transformer_encoder.py and repro.serving for the
+    #    continuous-batching scheduler built on top).
+    # ------------------------------------------------------------------ #
+    stage2 = Program("quickstart-stage2")
+    a2 = stage2.add_input("A", layout=out_layout)
+    scaled2 = stage2.add_kernel("scale", Schedule(op), {"A": a2}, out_layout)
+    stage2.mark_output(scaled2)
+    stacked = session.run_stack([program, stage2], {"A": a})[scaled2]
+    quadrupled = all(
+        np.allclose(stacked.valid_slice(b)[:int(lengths[b])],
+                    4 * a.valid_slice(b)[:int(lengths[b])])
+        for b in range(len(lengths)))
+    print(f"run_stack([program, stage2]) doubles twice (4*A): {quadrupled}")
 
 
 if __name__ == "__main__":

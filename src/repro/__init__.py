@@ -38,6 +38,12 @@ The package is organised as follows:
     the partially padded FT-Eff pipeline, micro-batched execution (TF-UB /
     PT-UB) and a Taco-like sparse-compiler baseline using CSR / BCSR.
 
+``repro.serving``
+    The serving front end: a request queue and a continuous-batching
+    scheduler that groups incoming ragged sequences by raggedness
+    signature (optionally padding within a bucket tolerance) to maximise
+    compiled-program reuse across mini-batches.
+
 ``repro.models``
     The transformer encoder layer and multi-head attention module assembled
     from CoRa operators, with equivalent baseline implementations.
@@ -62,6 +68,7 @@ from repro.core.executor import Executor
 from repro.core.planner import ProgramPlan, plan_program
 from repro.core.program import Program, ProgramError
 from repro.core.session import CompiledProgram, Session, default_session
+from repro.serving import BatchScheduler, Request, RequestQueue
 
 __version__ = "0.1.0"
 
@@ -89,5 +96,8 @@ __all__ = [
     "Session",
     "CompiledProgram",
     "default_session",
+    "BatchScheduler",
+    "Request",
+    "RequestQueue",
     "__version__",
 ]

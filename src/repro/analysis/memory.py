@@ -83,21 +83,59 @@ def encoder_arena_plan(lengths: Sequence[int],
     return plan_program(program)
 
 
+def encoder_stack_arena_plan(lengths: Sequence[int],
+                             config: TransformerConfig = PAPER_BASE_CONFIG,
+                             n_layers: int = 1,
+                             masked: bool = False) -> "ProgramPlan":
+    """The liveness-planned arena layout of an N-layer encoder stack.
+
+    One program spans every layer, so the planner's liveness analysis
+    lets layer ``k + 1`` reuse the slabs of layer ``k``'s dead
+    intermediates -- peak bytes stay near one layer's working set
+    instead of growing linearly in N.
+    """
+    from repro.core.planner import plan_program
+    from repro.models.transformer import (
+        EncoderWeights,
+        build_encoder_stack_program,
+    )
+
+    program = build_encoder_stack_program(
+        lengths, EncoderWeights.zeros(config), config, masked=masked,
+        n_layers=n_layers)
+    return plan_program(program)
+
+
 def intermediate_memory_report(lengths: Sequence[int],
                                config: TransformerConfig = PAPER_BASE_CONFIG,
-                               masked: bool = False) -> Dict[str, float]:
-    """Intermediate-buffer memory of one encoder layer, from the planner.
+                               masked: bool = False,
+                               n_layers: int = 1) -> Dict[str, float]:
+    """Intermediate-buffer memory of an encoder stack, from the planner.
 
     Unlike :func:`activation_memory_bytes` (which analytically sums every
     forward activation, the Figure 19 accounting), this reads the *planned
     arena sizes* of the program runtime: ``per_op_bytes`` is what op-by-op
     execution allocates (one buffer per intermediate value), ``arena_bytes``
-    is the peak after liveness-driven slab reuse.
+    is the peak after liveness-driven slab reuse.  With ``n_layers > 1``
+    the whole stack is planned as one program; ``per_layer_sum_bytes``
+    reports what N independent per-layer arena plans would reserve, and
+    ``cross_layer_savings`` the fraction of that the stacked plan avoids.
     """
-    plan = encoder_arena_plan(lengths, config, masked=masked)
+    if n_layers == 1:
+        plan = encoder_arena_plan(lengths, config, masked=masked)
+        per_layer_sum = float(plan.arena_bytes)
+    else:
+        plan = encoder_stack_arena_plan(lengths, config, n_layers=n_layers,
+                                        masked=masked)
+        single = encoder_arena_plan(lengths, config, masked=masked)
+        per_layer_sum = float(single.arena_bytes) * n_layers
     return {
         "per_op_bytes": float(plan.naive_bytes),
         "arena_bytes": float(plan.arena_bytes),
+        "peak_live_bytes": float(plan.peak_live_bytes),
+        "per_layer_sum_bytes": per_layer_sum,
+        "cross_layer_savings": (1.0 - plan.arena_bytes / per_layer_sum
+                                if per_layer_sum else 0.0),
         "num_values": float(plan.num_values),
         "num_slabs": float(plan.num_slabs),
         "savings": plan.reuse_savings,

@@ -1151,6 +1151,12 @@ class VectorBackend(CodegenBackend):
         self.vectorized_count += 1
         return generated
 
+    def reset_stats(self) -> None:
+        """Zero the vectorized / fallback counters and reason map."""
+        self.vectorized_count = 0
+        self.fallback_count = 0
+        self.fallback_reasons.clear()
+
 
 def can_vectorize(kernel: LoweredKernel) -> bool:
     """Whether the vector backend can emit ``kernel`` without falling back."""

@@ -336,6 +336,23 @@ class Executor:
         """Drop all cached kernels (counters are left untouched)."""
         self._kernel_cache.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the lowering / cache counters and the backend's codegen
+        (vectorized vs fallback) counters; cached kernels are kept."""
+        self.lower_count = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        reset = getattr(self.backend, "reset_stats", None)
+        if reset is not None:
+            reset()
+
+    def reset(self) -> None:
+        """Return the executor to its freshly-constructed state: drop the
+        kernel cache *and* zero every counter, so a replayed workload
+        reproduces the original compile/statistics trajectory exactly."""
+        self.clear_cache()
+        self.reset_stats()
+
     # -- codegen observability --------------------------------------------------
 
     @property

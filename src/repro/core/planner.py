@@ -68,6 +68,24 @@ class ProgramPlan:
         return int(sum(self.value_elements.values())) * self.itemsize
 
     @property
+    def peak_live_bytes(self) -> int:
+        """Max bytes simultaneously live at any step (liveness lower bound).
+
+        No allocator can beat this; ``arena_bytes`` is what the greedy
+        best-fit packing actually reserves (>= this, since slabs are
+        sized/grown conservatively).  For an N-layer stacked program this
+        stays near one layer's working set -- the number the cross-layer
+        reuse regression pins down.
+        """
+        if not self.liveness:
+            return 0
+        steps = len(self.order)
+        live = np.zeros(steps, dtype=np.int64)
+        for name, (birth, death) in self.liveness.items():
+            live[birth:death + 1] += self.value_elements[name]
+        return int(live.max()) * self.itemsize
+
+    @property
     def num_slabs(self) -> int:
         return len(self.slab_elements)
 
@@ -89,6 +107,7 @@ class ProgramPlan:
             "num_values": self.num_values,
             "num_slabs": self.num_slabs,
             "arena_bytes": self.arena_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
             "naive_bytes": self.naive_bytes,
             "reuse_savings": self.reuse_savings,
         }

@@ -25,7 +25,7 @@ deterministically, which tests and long-running processes rely on.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -241,7 +241,8 @@ class Session:
     def __init__(self, backend: str = "vector",
                  executor: Optional[Executor] = None,
                  program_capacity: int = 64,
-                 prelude_capacity: int = 128):
+                 prelude_capacity: int = 128,
+                 signature_capacity: int = 1024):
         #: whether the executor is session-private (passed explicitly) or
         #: the process-wide shared one -- ``reset`` only clears the kernel
         #: cache of a private executor.
@@ -261,16 +262,48 @@ class Session:
         self.program_compiles = 0
         self.program_cache_hits = 0
         self.run_count = 0
+        #: per-raggedness-signature compiled-program hit/miss counters,
+        #: recorded when callers tag ``compile`` / ``run`` with a
+        #: ``signature`` (the serving scheduler tags every batch with its
+        #: bucketed lengths tuple and consumes these to report reuse).
+        #: Bounded: beyond ``signature_capacity`` distinct signatures the
+        #: oldest entries are evicted, so long-running servers with
+        #: diverse exact signatures do not grow memory without bound.
+        #: The aggregate hit/miss totals reported by :meth:`stats` are
+        #: kept as separate running counters, so eviction never makes
+        #: them undercount or go non-monotone.
+        self.signature_stats: Dict[Any, Dict[str, int]] = {}
+        self.signature_capacity = max(1, int(signature_capacity))
+        self._signature_totals: Dict[str, int] = {"hits": 0, "misses": 0}
 
     # -- compilation ------------------------------------------------------------
 
-    def compile(self, program: Program) -> CompiledProgram:
-        """Compile a program (cached per program / raggedness signature)."""
+    def _note_signature(self, signature: Any, hit: bool) -> None:
+        self._signature_totals["hits" if hit else "misses"] += 1
+        entry = self.signature_stats.get(signature)
+        if entry is None:
+            entry = self.signature_stats[signature] = {"hits": 0, "misses": 0}
+            while len(self.signature_stats) > self.signature_capacity:
+                self.signature_stats.pop(next(iter(self.signature_stats)))
+        entry["hits" if hit else "misses"] += 1
+
+    def compile(self, program: Program,
+                signature: Optional[Any] = None) -> CompiledProgram:
+        """Compile a program (cached per program / raggedness signature).
+
+        ``signature`` optionally tags the lookup with a caller-level
+        raggedness signature (any hashable); per-signature hit/miss
+        counts accumulate in :attr:`signature_stats`.
+        """
         entry = self._programs.get(program.uid)
         if entry is not None:
             self.program_cache_hits += 1
+            if signature is not None:
+                self._note_signature(signature, hit=True)
             return entry[0]
         self.program_compiles += 1
+        if signature is not None:
+            self._note_signature(signature, hit=False)
         compiled = CompiledProgram(program, self.executor)
         self._programs.put(program.uid, (compiled, program))
         return compiled
@@ -279,11 +312,50 @@ class Session:
 
     def run(self, program: Program,
             inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
-            copy_outputs: bool = True) -> Dict[str, Any]:
+            copy_outputs: bool = True,
+            signature: Optional[Any] = None) -> Dict[str, Any]:
         """Compile (cached) and execute a program over bound inputs."""
-        compiled = self.compile(program)
+        compiled = self.compile(program, signature=signature)
         result = compiled.run(inputs, copy_outputs=copy_outputs)
         self.run_count += 1
+        return result
+
+    def run_stack(self, programs: Sequence[Program],
+                  inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
+                  copy_outputs: bool = True) -> Dict[str, Any]:
+        """Execute a stack of programs sequentially, piping outputs along.
+
+        ``inputs`` binds the first program; each later program must take a
+        single input, fed from the previous program's single output (the
+        per-layer encoder programs have exactly this shape).  Because
+        :meth:`CompiledProgram.run` copies inputs into persistent staging
+        buffers *before* dispatching, the intermediate hand-off can use
+        arena views (``copy_outputs=False``) -- even when consecutive
+        stack entries are the same program object -- so the stack pays one
+        output copy total, at the end (controlled by ``copy_outputs``).
+
+        This is the sequential baseline the stacked whole-model program is
+        differentially tested against; prefer a single N-layer
+        :class:`Program` (one arena plan spanning all layers) when the
+        stack shape is known ahead of time.
+        """
+        if not programs:
+            raise ProgramError("run_stack needs at least one program")
+        result: Optional[Dict[str, Any]] = None
+        last = len(programs) - 1
+        for i, program in enumerate(programs):
+            if result is not None:
+                specs = program.input_values()
+                if len(specs) != 1 or len(result) != 1:
+                    raise ProgramError(
+                        f"run_stack cannot pipe {len(result)} outputs into "
+                        f"the {len(specs)} inputs of program "
+                        f"{program.name!r}; only single-input/single-output "
+                        "chaining is supported")
+                inputs = {specs[0].name: next(iter(result.values()))}
+            result = self.run(program, inputs,
+                              copy_outputs=copy_outputs if i == last
+                              else False)
         return result
 
     # -- memoization ------------------------------------------------------------
@@ -306,13 +378,17 @@ class Session:
     def reset(self) -> None:
         """Drop every cache and counter owned by this session.
 
-        Clears the compiled-program cache, the builder memo, and the
-        prelude memo/cache with their statistics.  A session-private
-        executor's kernel cache is cleared too; the process-wide shared
-        executor is left alone (other sessions and the op-by-op helpers
-        depend on it -- clear it explicitly via ``executor.clear_cache()``
-        if that is what you want).  Deterministic cleanup hook for tests
-        and long-running processes.
+        Clears the compiled-program LRU, the builder memo, the
+        per-signature statistics, and the prelude memo/cache with their
+        statistics.  A session-private executor is reset *cold*: its
+        kernel cache is dropped and its lowering / kernel-cache / codegen
+        (vectorized vs fallback) counters are zeroed, so a replay after
+        ``reset()`` reproduces the original ``lower_count`` trajectory
+        exactly -- repeated benchmark runs start from the same state.  The
+        process-wide shared executor is left alone (other sessions and
+        the op-by-op helpers depend on it -- reset it explicitly via
+        ``executor.reset()`` if that is what you want).  Deterministic
+        cleanup hook for tests and long-running processes.
         """
         self._programs.clear()
         self._memo.clear()
@@ -325,8 +401,11 @@ class Session:
         self.program_compiles = 0
         self.program_cache_hits = 0
         self.run_count = 0
+        self.signature_stats.clear()
+        self._signature_totals["hits"] = 0
+        self._signature_totals["misses"] = 0
         if self._private_executor:
-            self.executor.clear_cache()
+            self.executor.reset()
 
     def stats(self) -> Dict[str, object]:
         """Session counters plus the executor's codegen statistics."""
@@ -337,6 +416,8 @@ class Session:
             "runs": self.run_count,
             "cached_programs": len(self._programs),
             "prelude_memo": dict(self.prelude_memo_stats),
+            "signature_hits": self._signature_totals["hits"],
+            "signature_misses": self._signature_totals["misses"],
             "codegen": self.executor.codegen_stats(),
         }
 

@@ -503,6 +503,49 @@ class EncoderLayerResult:
         return out
 
 
+def _append_encoder_layer(
+    program: Program,
+    tokens: str,
+    weights: EncoderWeights,
+    lengths: Sequence[int],
+    config: TransformerConfig,
+    masked: bool,
+    prefix: str = "",
+    out: str = "out_tokens",
+) -> str:
+    """Append one CoRa encoder layer's nodes to an existing program graph.
+
+    ``tokens`` names the packed ``(total_tokens, hidden)`` input value of
+    the layer; ``prefix`` namespaces every node / value / constant of the
+    layer (``"L3."`` for layer 3 of a stack), so N layers coexist in one
+    graph.  Returns the name of the layer's packed output value.
+    """
+    heads, d = config.num_heads, config.head_size
+
+    qkv = linear_node(program, tokens, weights.wqkv, weights.bqkv,
+                      name=f"{prefix}proj1", out=f"{prefix}qkv")
+    q, k, v = qkv_split_node(program, qkv, lengths, heads, d,
+                             prefix=f"{prefix}qkv")
+    attn = sdpa_nodes(program, q, k, v, lengths, heads, d, masked=masked,
+                      prefix=f"{prefix}sdpa")
+    attn_tokens = attn_merge_node(program, attn, lengths, heads, d,
+                                  name=f"{prefix}attn.merge",
+                                  out=f"{prefix}attn_tokens")
+    proj = linear_node(program, attn_tokens, weights.wo, weights.bo,
+                       name=f"{prefix}proj2", out=f"{prefix}proj")
+    resid1 = add_node(program, proj, tokens, name=f"{prefix}resid1")
+    norm1 = layernorm_node(program, resid1, weights.ln1_gamma,
+                           weights.ln1_beta, name=f"{prefix}ln1")
+    ff1_lin = linear_node(program, norm1, weights.w1, weights.b1,
+                          name=f"{prefix}ff1", out=f"{prefix}ff1.lin")
+    ff1 = relu_node(program, ff1_lin, name=f"{prefix}ff1.relu")
+    ff2 = linear_node(program, ff1, weights.w2, weights.b2,
+                      name=f"{prefix}ff2")
+    resid2 = add_node(program, ff2, norm1, name=f"{prefix}resid2")
+    return layernorm_node(program, resid2, weights.ln2_gamma,
+                          weights.ln2_beta, name=f"{prefix}ln2", out=out)
+
+
 def build_encoder_program(
     lengths: Sequence[int],
     weights: EncoderWeights,
@@ -526,33 +569,83 @@ def build_encoder_program(
     """
     lengths = [int(n) for n in lengths]
     total = sum(lengths)
-    h = config.hidden_size
-    heads, d = config.num_heads, config.head_size
 
     program = Program(
         f"encoder[{'masked' if masked else 'unmasked'}]"
         f"b{len(lengths)}t{total}")
-    tokens = program.add_input("tokens", shape=(total, h))
-    qkv = linear_node(program, tokens, weights.wqkv, weights.bqkv,
-                      name="proj1", out="qkv")
-    q, k, v = qkv_split_node(program, qkv, lengths, heads, d)
-    attn = sdpa_nodes(program, q, k, v, lengths, heads, d, masked=masked)
-    attn_tokens = attn_merge_node(program, attn, lengths, heads, d,
-                                  out="attn_tokens")
-    proj = linear_node(program, attn_tokens, weights.wo, weights.bo,
-                       name="proj2", out="proj")
-    resid1 = add_node(program, proj, tokens, name="resid1")
-    norm1 = layernorm_node(program, resid1, weights.ln1_gamma,
-                           weights.ln1_beta, name="ln1")
-    ff1_lin = linear_node(program, norm1, weights.w1, weights.b1,
-                          name="ff1", out="ff1.lin")
-    ff1 = relu_node(program, ff1_lin, name="ff1.relu")
-    ff2 = linear_node(program, ff1, weights.w2, weights.b2, name="ff2")
-    resid2 = add_node(program, ff2, norm1, name="resid2")
-    out_tokens = layernorm_node(program, resid2, weights.ln2_gamma,
-                                weights.ln2_beta, name="ln2",
-                                out="out_tokens")
+    tokens = program.add_input("tokens", shape=(total, config.hidden_size))
+    out_tokens = _append_encoder_layer(program, tokens, weights, lengths,
+                                       config, masked)
     program.mark_output(out_tokens)
+    return program
+
+
+def _weights_per_layer(weights, n_layers: Optional[int],
+                       default_layers: int = 1) -> List[EncoderWeights]:
+    """Normalise ``weights`` to one :class:`EncoderWeights` per layer.
+
+    ``weights`` is either a single weight set shared by every layer (then
+    the depth is ``n_layers``, falling back to ``default_layers`` -- the
+    stack builders pass ``config.num_layers`` so an unspecified depth
+    means the *model's* layer count, not a silent single layer) or a
+    sequence with one entry per layer (then ``n_layers``, if given, must
+    agree).
+    """
+    if isinstance(weights, EncoderWeights):
+        n = int(n_layers if n_layers is not None else default_layers)
+        if n < 1:
+            raise ValueError(f"encoder stack needs n_layers >= 1, got {n}")
+        return [weights] * n
+    weights = list(weights)
+    if not weights:
+        raise ValueError("encoder stack needs at least one layer of weights")
+    if n_layers is not None and int(n_layers) != len(weights):
+        raise ValueError(
+            f"n_layers={n_layers} but {len(weights)} weight sets were given")
+    return weights
+
+
+def build_encoder_stack_program(
+    lengths: Sequence[int],
+    weights,
+    config: TransformerConfig = PAPER_BASE_CONFIG,
+    masked: bool = False,
+    n_layers: Optional[int] = None,
+) -> Program:
+    """Declare N stacked CoRa encoder layers as *one* ragged program graph.
+
+    Layer ``i``'s nodes and values are namespaced ``L{i}.``; layer ``i``'s
+    packed output feeds layer ``i+1``'s projections and residual add.
+    Because the whole stack is a single :class:`Program`, the planner's
+    liveness pass spans every layer: layer ``k``'s intermediates die as
+    layer ``k+1`` consumes them, so their arena slabs are reused across
+    the whole model and peak intermediate bytes stay near one layer's
+    arena instead of N of them.
+
+    ``weights`` is a single :class:`EncoderWeights` shared by all
+    ``n_layers`` layers (``n_layers`` defaults to ``config.num_layers``),
+    or a sequence with one weight set per layer.  The program's input is
+    the packed ``"tokens"`` matrix and its single marked output is
+    ``"out_tokens"`` -- the same contract as the single-layer
+    :func:`build_encoder_program`, so callers are agnostic to the
+    stacking depth.
+    """
+    per_layer = _weights_per_layer(weights, n_layers,
+                                   default_layers=config.num_layers)
+    lengths = [int(n) for n in lengths]
+    total = sum(lengths)
+
+    program = Program(
+        f"encoder-stack[{'masked' if masked else 'unmasked'}]"
+        f"x{len(per_layer)}b{len(lengths)}t{total}")
+    value = program.add_input("tokens", shape=(total, config.hidden_size))
+    last = len(per_layer) - 1
+    for i, layer_weights in enumerate(per_layer):
+        value = _append_encoder_layer(
+            program, value, layer_weights, lengths, config, masked,
+            prefix=f"L{i}.",
+            out="out_tokens" if i == last else f"L{i}.out_tokens")
+    program.mark_output(value)
     return program
 
 
@@ -570,11 +663,66 @@ def encoder_program(
     lengths = tuple(int(n) for n in lengths)
     key = ("encoder-program", lengths, id(weights), bool(masked),
            config.hidden_size, config.num_heads, config.head_size,
-           config.ff_size)
+           config.ff_size, config.loop_pad, config.bulk_pad,
+           config.attention_tile)
     program, _pinned = session.memoize(
         key, lambda: (build_encoder_program(lengths, weights, config,
                                             masked), weights))
     return program
+
+
+def encoder_stack_program(
+    lengths: Sequence[int],
+    weights,
+    config: TransformerConfig = PAPER_BASE_CONFIG,
+    masked: bool = False,
+    n_layers: Optional[int] = None,
+    session: Optional[Session] = None,
+) -> Program:
+    """The N-layer encoder stack program for one raggedness signature,
+    memoized on the session (keyed by lengths, the per-layer weight
+    identities, config and masking; the weight objects are pinned for the
+    lifetime of the memo entry).  With a single shared weight set,
+    ``n_layers`` defaults to ``config.num_layers``."""
+    session = session or default_session()
+    per_layer = _weights_per_layer(weights, n_layers,
+                                   default_layers=config.num_layers)
+    lengths = tuple(int(n) for n in lengths)
+    key = ("encoder-stack-program", lengths,
+           tuple(id(w) for w in per_layer), bool(masked),
+           config.hidden_size, config.num_heads, config.head_size,
+           config.ff_size, config.loop_pad, config.bulk_pad,
+           config.attention_tile)
+    program, _pinned = session.memoize(
+        key, lambda: (build_encoder_stack_program(lengths, per_layer, config,
+                                                  masked), per_layer))
+    return program
+
+
+def run_encoder_stack_numeric(
+    hidden: Sequence[np.ndarray],
+    weights,
+    config: TransformerConfig = PAPER_BASE_CONFIG,
+    masked: bool = False,
+    n_layers: Optional[int] = None,
+    session: Optional[Session] = None,
+) -> EncoderLayerResult:
+    """Run N stacked encoder layers numerically on ragged inputs.
+
+    The whole stack is declared once per raggedness signature as a single
+    ragged program (:func:`build_encoder_stack_program`), compiled ahead
+    of time and executed as one flat dispatch loop whose arena plan spans
+    every layer.  Bit-identical to running the layers one at a time
+    through :func:`run_encoder_layer_numeric` (the differential suite in
+    ``tests/test_multilayer_program.py`` pins this down).  With a single
+    shared weight set, ``n_layers`` defaults to ``config.num_layers``.
+    """
+    session = session or default_session()
+    lengths = [h.shape[0] for h in hidden]
+    program = encoder_stack_program(lengths, weights, config, masked=masked,
+                                    n_layers=n_layers, session=session)
+    out = session.run(program, {"tokens": pack_tokens(hidden)})["out_tokens"]
+    return EncoderLayerResult(hidden=unpack_tokens(out, lengths))
 
 
 def run_encoder_layer_numeric(

@@ -1,0 +1,28 @@
+"""Serving-scale front end for the ragged program runtime.
+
+The paper's insight I1 -- raggedness is known before execution -- pays off
+twice at serving time: a whole N-layer encoder stack compiles ahead of
+time into one arena-planned program per raggedness signature, and a
+request scheduler can *shape* the mini-batches it forms so those
+signatures recur.  This package provides the request-side half:
+
+* :mod:`repro.serving.queue` -- individual ragged requests and the FIFO
+  arrival queue;
+* :mod:`repro.serving.scheduler` -- the continuous-batching
+  :class:`BatchScheduler`, which groups pending requests into batches,
+  optionally pads sequence lengths to bucket boundaries (trading a little
+  masked compute for compiled-program reuse, echoing the paper's partial
+  padding), runs each batch through :meth:`repro.Session.run`, and
+  demultiplexes per-request results.
+"""
+
+from repro.serving.queue import Request, RequestQueue, bucketed_length
+from repro.serving.scheduler import BatchScheduler, ScheduledBatch
+
+__all__ = [
+    "Request",
+    "RequestQueue",
+    "BatchScheduler",
+    "ScheduledBatch",
+    "bucketed_length",
+]

@@ -1,0 +1,97 @@
+"""Ragged requests and the arrival queue of the serving front end.
+
+A :class:`Request` is one variable-length sequence (its ``(length,
+hidden)`` activation matrix) waiting to be batched; the
+:class:`RequestQueue` holds requests in arrival order.  Batch *formation*
+policy -- how many requests to take, how to bucket their lengths into a
+raggedness signature -- lives in :mod:`repro.serving.scheduler`; the
+queue itself is a plain FIFO so arrival order is preserved and every
+request is handed out exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, eq=False)
+class Request:
+    """One ragged sequence awaiting encoder execution.
+
+    ``eq=False``: requests compare (and hash) by identity -- the
+    generated field-wise ``__eq__`` would compare the ``hidden`` array
+    element-wise and raise on any multi-element sequence.
+    """
+
+    request_id: int
+    #: the ``(length, hidden_size)`` activation matrix of the sequence
+    hidden: np.ndarray
+
+    @property
+    def length(self) -> int:
+        return int(self.hidden.shape[0])
+
+
+def bucketed_length(length: int, bucket_tolerance: int) -> int:
+    """The padded sequence length under a bucket tolerance.
+
+    ``bucket_tolerance <= 1`` keeps lengths exact (signatures only match
+    between identical length tuples); a tolerance ``t > 1`` rounds each
+    length up to the next multiple of ``t``, so at most ``t - 1`` padding
+    tokens are added per sequence and any two lengths within the same
+    ``t``-bucket produce the same signature entry.  Coarser tolerances
+    along a divisibility chain (2, 4, 8, ...) strictly merge buckets, so
+    compiled-program reuse is monotone along such chains.
+    """
+    length = int(length)
+    t = int(bucket_tolerance)
+    if t <= 1:
+        return length
+    return -(-length // t) * t
+
+
+class RequestQueue:
+    """A FIFO of pending requests with monotonically increasing ids."""
+
+    def __init__(self) -> None:
+        self._pending: Deque[Request] = deque()
+        self._next_id = 0
+        self.submitted = 0
+        self.popped = 0
+
+    def submit(self, hidden: np.ndarray) -> int:
+        """Enqueue one ``(length, hidden_size)`` sequence; returns its id."""
+        hidden = np.ascontiguousarray(hidden, dtype=np.float32)
+        if hidden.ndim != 2 or hidden.shape[0] == 0:
+            raise ValueError(
+                "a request must be a non-empty (length, hidden) matrix, "
+                f"got shape {hidden.shape}")
+        request = Request(request_id=self._next_id, hidden=hidden)
+        self._next_id += 1
+        self.submitted += 1
+        self._pending.append(request)
+        return request.request_id
+
+    def submit_many(self, hiddens: Iterable[np.ndarray]) -> List[int]:
+        return [self.submit(h) for h in hiddens]
+
+    def pop(self, max_requests: int) -> List[Request]:
+        """Dequeue up to ``max_requests`` requests in arrival order."""
+        if max_requests <= 0:
+            raise ValueError(f"max_requests must be positive, got {max_requests}")
+        out: List[Request] = []
+        while self._pending and len(out) < max_requests:
+            out.append(self._pending.popleft())
+        self.popped += len(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (f"RequestQueue(pending={len(self)}, "
+                f"submitted={self.submitted}, popped={self.popped})")

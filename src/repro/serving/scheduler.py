@@ -1,0 +1,278 @@
+"""Continuous batching over the ragged program runtime.
+
+The :class:`BatchScheduler` sits between individual ragged requests and
+:meth:`repro.Session.run`.  Each scheduling step it takes the next (up to)
+``max_batch_size`` pending requests in arrival order, buckets their
+lengths (``bucket_tolerance``), sorts them into a canonical slot order,
+and the resulting *raggedness signature* -- the tuple of bucketed lengths
+-- selects the compiled N-layer encoder program that serves the batch.
+Recurring signatures hit the session's compiled-program cache, so no
+kernel is re-lowered, no arena re-planned, no prelude rebuilt; the
+session's per-signature hit/miss statistics quantify the reuse.
+
+Bucketing trades compute for reuse exactly like the paper's partial
+padding: a tolerance ``t`` pads each sequence with at most ``t - 1``
+zero tokens, collapsing nearby lengths onto one signature.  Padding is
+only *exact* under causal masking -- a padded key column receives an
+additive ``-inf`` mask, its softmax weight is exactly zero, and the valid
+rows are unchanged -- so tolerances above 1 require ``masked=True``; the
+unmasked encoder attends over every key and must keep exact signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.session import Session, default_session
+from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
+from repro.models.transformer import encoder_stack_program
+from repro.ops.projection import unpack_tokens
+from repro.serving.queue import Request, RequestQueue, bucketed_length
+
+
+@dataclass(frozen=True)
+class ScheduledBatch:
+    """The record of one executed batch (kept when ``log_batches``)."""
+
+    signature: Tuple[int, ...]
+    requests: Tuple[Request, ...]
+    #: valid lengths per slot (same order as ``signature``)
+    lengths: Tuple[int, ...]
+
+    @property
+    def padded_lengths(self) -> Tuple[int, ...]:
+        """Bucketed (padded) length per slot -- the signature IS the
+        per-slot padded length tuple."""
+        return self.signature
+
+    @property
+    def padding_tokens(self) -> int:
+        return sum(self.padded_lengths) - sum(self.lengths)
+
+    def padded_inputs(self, hidden_size: int) -> List[np.ndarray]:
+        """Rebuild the zero-padded per-slot input matrices of the batch."""
+        rows = []
+        for request, padded in zip(self.requests, self.padded_lengths):
+            mat = np.zeros((padded, hidden_size), dtype=np.float32)
+            mat[:request.length] = request.hidden
+            rows.append(mat)
+        return rows
+
+
+class BatchScheduler:
+    """Groups ragged requests into signature-canonical encoder batches.
+
+    Parameters
+    ----------
+    weights:
+        One :class:`~repro.models.transformer.EncoderWeights` (shared by
+        all layers) or a sequence with one weight set per layer.
+    config:
+        Transformer dimensions; ``hidden_size`` must match the requests.
+    session:
+        The :class:`~repro.core.session.Session` to compile/run through;
+        defaults to the process-wide vector-backend session.
+    masked:
+        Run the causal-masked encoder.  Required for bucket tolerances
+        above 1 (see the module docstring for why padding needs masking).
+    n_layers:
+        Stack depth when ``weights`` is a single weight set.
+    max_batch_size:
+        Upper bound on requests per scheduled batch.
+    bucket_tolerance:
+        Length-bucketing granularity; ``<= 1`` keeps signatures exact.
+    sort_by_length:
+        Order a batch's slots by descending bucketed length (ties by
+        arrival), so any multiset of bucketed lengths maps to *one*
+        canonical signature instead of ``k!`` permutations of it.
+    log_batches:
+        Keep a :class:`ScheduledBatch` record (pinning the request
+        arrays) per executed batch, enabling
+        :meth:`replay_bit_identical`.  Off by default: the log grows
+        with every request served, which a long-running server cannot
+        afford -- differential tests and benchmarks opt in.
+    """
+
+    def __init__(self, weights, config: TransformerConfig = PAPER_BASE_CONFIG,
+                 *, session: Optional[Session] = None, masked: bool = False,
+                 n_layers: Optional[int] = None, max_batch_size: int = 8,
+                 bucket_tolerance: int = 1, sort_by_length: bool = True,
+                 log_batches: bool = False):
+        if max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {max_batch_size}")
+        if bucket_tolerance < 0:
+            raise ValueError(
+                f"bucket_tolerance must be >= 0, got {bucket_tolerance}")
+        if bucket_tolerance > 1 and not masked:
+            raise ValueError(
+                "bucket_tolerance > 1 pads sequences, which is only exact "
+                "under causal masking (padded keys get zero attention "
+                "weight); pass masked=True or keep bucket_tolerance <= 1")
+        self.weights = weights
+        self.config = config
+        self.session = session or default_session()
+        self.masked = bool(masked)
+        self.n_layers = n_layers
+        self.max_batch_size = int(max_batch_size)
+        self.bucket_tolerance = int(bucket_tolerance)
+        self.sort_by_length = bool(sort_by_length)
+        self.log_batches = bool(log_batches)
+
+        self.queue = RequestQueue()
+        self.batch_log: List[ScheduledBatch] = []
+        self.num_batches = 0
+        self.num_completed = 0
+        self.valid_tokens = 0
+        self.padded_tokens = 0
+        #: session counters at construction time -- ``stats`` reports
+        #: deltas against these, so other users of a shared session
+        #: (another scheduler, direct ``Session.run`` calls made before
+        #: this scheduler existed) do not pollute this scheduler's
+        #: numbers.  Concurrent interleaved use of the same session still
+        #: shows up; give each scheduler its own session to fully isolate.
+        self._baseline = self._session_counters()
+        self._signatures_seen: set = set()
+
+    def _session_counters(self) -> Dict[str, int]:
+        stats = self.session.stats()
+        return {key: stats[key]
+                for key in ("signature_hits", "signature_misses",
+                            "program_compiles", "program_cache_hits")}
+
+    # -- request intake ---------------------------------------------------------
+
+    def submit(self, hidden: np.ndarray) -> int:
+        """Enqueue one ``(length, hidden_size)`` request; returns its id."""
+        hidden = np.asarray(hidden)
+        if hidden.ndim != 2 or hidden.shape[1] != self.config.hidden_size:
+            raise ValueError(
+                f"request must be (length, {self.config.hidden_size}), "
+                f"got shape {hidden.shape}")
+        return self.queue.submit(hidden)
+
+    def submit_many(self, hiddens: Iterable[np.ndarray]) -> List[int]:
+        return [self.submit(h) for h in hiddens]
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    # -- batch formation and execution ------------------------------------------
+
+    def _form_batch(self, requests: Sequence[Request]) -> ScheduledBatch:
+        if self.sort_by_length:
+            requests = sorted(
+                requests,
+                key=lambda r: (-bucketed_length(r.length,
+                                                self.bucket_tolerance),
+                               r.request_id))
+        padded = tuple(bucketed_length(r.length, self.bucket_tolerance)
+                       for r in requests)
+        return ScheduledBatch(
+            signature=padded, requests=tuple(requests),
+            lengths=tuple(r.length for r in requests))
+
+    def _execute(self, batch: ScheduledBatch) -> Dict[int, np.ndarray]:
+        program = encoder_stack_program(
+            batch.padded_lengths, self.weights, self.config,
+            masked=self.masked, n_layers=self.n_layers, session=self.session)
+        packed = np.concatenate(
+            batch.padded_inputs(self.config.hidden_size), axis=0)
+        out = self.session.run(program, {"tokens": packed},
+                               copy_outputs=False,
+                               signature=batch.signature)["out_tokens"]
+        rows = unpack_tokens(out, batch.padded_lengths)
+        results = {
+            request.request_id: rows[slot][:request.length].copy()
+            for slot, request in enumerate(batch.requests)
+        }
+        self.num_batches += 1
+        self.num_completed += len(batch.requests)
+        self.valid_tokens += sum(batch.lengths)
+        self.padded_tokens += sum(batch.padded_lengths)
+        # Bounded like the session's signature_stats: beyond the capacity
+        # the distinct-signature count saturates instead of growing
+        # scheduler memory with every new traffic shape.
+        if len(self._signatures_seen) < self.session.signature_capacity:
+            self._signatures_seen.add(batch.signature)
+        if self.log_batches:
+            self.batch_log.append(batch)
+        return results
+
+    def step(self) -> Dict[int, np.ndarray]:
+        """Schedule and run one batch; ``{}`` when nothing is pending.
+
+        Returns the per-request outputs, each a fresh ``(length,
+        hidden_size)`` array keyed by request id (padding rows are
+        stripped during demultiplexing).
+        """
+        requests = self.queue.pop(self.max_batch_size)
+        if not requests:
+            return {}
+        return self._execute(self._form_batch(requests))
+
+    def drain(self) -> Dict[int, np.ndarray]:
+        """Run scheduling steps until the queue is empty; merged results."""
+        results: Dict[int, np.ndarray] = {}
+        while len(self.queue):
+            results.update(self.step())
+        return results
+
+    # -- differential checking --------------------------------------------------
+
+    def replay_bit_identical(self, results: Dict[int, np.ndarray]) -> bool:
+        """Re-run every logged batch directly through ``Session.run`` and
+        compare against the demultiplexed ``results`` bit for bit.
+
+        The differential check the serving tests and the benchmark smoke
+        mode share: the scheduler's per-request outputs must be exactly
+        the rows a direct program execution of the same (padded) batch
+        produces.  Requires ``log_batches=True``.
+        """
+        if not self.log_batches:
+            raise ValueError(
+                "replay_bit_identical needs the batch log; construct the "
+                "scheduler with log_batches=True")
+        h = self.config.hidden_size
+        for batch in self.batch_log:
+            program = encoder_stack_program(
+                batch.padded_lengths, self.weights, self.config,
+                masked=self.masked, n_layers=self.n_layers,
+                session=self.session)
+            out = self.session.run(
+                program,
+                {"tokens": np.concatenate(batch.padded_inputs(h))},
+            )["out_tokens"]
+            rows = unpack_tokens(out, batch.padded_lengths)
+            for slot, request in enumerate(batch.requests):
+                if not np.array_equal(rows[slot][:request.length],
+                                      results[request.request_id]):
+                    return False
+        return True
+
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler throughput counters plus the session's signature reuse.
+
+        The session-derived counters are deltas since this scheduler was
+        constructed, so earlier activity on a shared session is excluded.
+        """
+        current = self._session_counters()
+        return {
+            "pending": self.pending,
+            "num_batches": self.num_batches,
+            "num_completed": self.num_completed,
+            "valid_tokens": self.valid_tokens,
+            "padded_tokens": self.padded_tokens,
+            "padding_overhead": (
+                self.padded_tokens / self.valid_tokens - 1.0
+                if self.valid_tokens else 0.0),
+            "distinct_signatures": len(self._signatures_seen),
+            **{key: current[key] - self._baseline[key]
+               for key in current},
+        }

@@ -1,0 +1,202 @@
+"""Differential suite for N-layer stacked encoder programs.
+
+The whole-model compilation boundary must not change numerics: an N-layer
+stack declared as *one* program (single arena plan spanning every layer)
+must be bit-identical to N sequential ``Session.run`` calls over per-layer
+programs and to N passes of the op-by-op compiled path, for masked and
+unmasked SDPA and N in {1, 2, 4}, with zero vector-backend fallbacks.
+Alongside, regression tests pin the cross-layer arena reuse: layer k+1
+must recycle layer k's dead slabs (stacked peak strictly below the sum of
+per-layer plans) while the double-buffer rule still holds at layer
+boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import Executor
+from repro.core.planner import plan_program
+from repro.core.program import ProgramError
+from repro.core.session import Session
+from repro.models.config import TransformerConfig
+from repro.models.transformer import (
+    EncoderWeights,
+    build_encoder_program,
+    build_encoder_stack_program,
+    encoder_program,
+    encoder_stack_program,
+    run_encoder_layer_opbyop,
+    run_encoder_stack_numeric,
+)
+
+SMALL = TransformerConfig(hidden_size=16, num_heads=2, head_size=8, ff_size=32,
+                          num_layers=2, loop_pad=4, bulk_pad=8,
+                          attention_tile=8)
+
+LENGTHS = (7, 3, 5)
+
+
+def _hidden(lengths, seed=0, config=SMALL):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((int(n), config.hidden_size))
+            .astype(np.float32) for n in lengths]
+
+
+def _layer_weights(n, base_seed=0):
+    return [EncoderWeights.random(SMALL, seed=base_seed + i) for i in range(n)]
+
+
+def _bit_identical(a, b):
+    return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+# ---------------------------------------------------------------------------
+# Differential: one stacked program vs N sequential runs vs op-by-op
+# ---------------------------------------------------------------------------
+
+
+class TestStackDifferential:
+    @pytest.mark.parametrize("masked", [False, True])
+    @pytest.mark.parametrize("n_layers", [1, 2, 4])
+    def test_stack_bit_identical_to_sequential_and_opbyop(self, n_layers,
+                                                          masked):
+        hidden = _hidden(LENGTHS, seed=1)
+        weights = _layer_weights(n_layers)
+        session = Session(backend="vector",
+                          executor=Executor(backend="vector"))
+
+        stacked = run_encoder_stack_numeric(hidden, weights, SMALL,
+                                            masked=masked, session=session)
+
+        # N sequential Session.run calls over per-layer programs.
+        programs = [encoder_program(LENGTHS, w, SMALL, masked=masked,
+                                    session=session) for w in weights]
+        sequential = session.run_stack(
+            programs, {"tokens": np.concatenate(hidden)})["out_tokens"]
+
+        # N passes of the op-by-op compiled path.
+        opbyop = hidden
+        for w in weights:
+            opbyop = run_encoder_layer_opbyop(opbyop, w, SMALL, masked=masked,
+                                              backend="vector").hidden
+
+        assert np.array_equal(np.concatenate(stacked.hidden), sequential)
+        assert _bit_identical(stacked.hidden, opbyop)
+        stats = session.stats()["codegen"]
+        assert stats["fallbacks"] == 0, stats["fallback_reasons"]
+
+    @pytest.mark.parametrize("masked", [False, True])
+    def test_shared_weights_stack_matches_repeated_layer(self, masked):
+        hidden = _hidden((4, 6), seed=2)
+        weights = EncoderWeights.random(SMALL, seed=2)
+        session = Session(backend="vector")
+        stacked = run_encoder_stack_numeric(hidden, weights, SMALL,
+                                            masked=masked, n_layers=3,
+                                            session=session)
+        ref = hidden
+        for _ in range(3):
+            ref = run_encoder_layer_opbyop(ref, weights, SMALL, masked=masked,
+                                           backend="vector").hidden
+        assert _bit_identical(stacked.hidden, ref)
+
+    def test_stack_program_memoized_per_signature(self):
+        weights = _layer_weights(2)
+        session = Session(backend="vector")
+        first = encoder_stack_program(LENGTHS, weights, SMALL,
+                                      session=session)
+        again = encoder_stack_program(list(LENGTHS), weights, SMALL,
+                                      session=session)
+        assert first is again
+        other = encoder_stack_program((7, 3, 6), weights, SMALL,
+                                      session=session)
+        assert other is not first
+
+    def test_weight_count_must_match_n_layers(self):
+        with pytest.raises(ValueError):
+            build_encoder_stack_program(LENGTHS, _layer_weights(2), SMALL,
+                                        n_layers=3)
+        with pytest.raises(ValueError):
+            build_encoder_stack_program(LENGTHS, [], SMALL)
+        with pytest.raises(ValueError):
+            build_encoder_stack_program(LENGTHS, EncoderWeights.zeros(SMALL),
+                                        SMALL, n_layers=0)
+
+    def test_shared_weights_default_depth_is_config_num_layers(self):
+        # A single weight set with no explicit n_layers builds the
+        # MODEL's depth (config.num_layers), not a silent single layer.
+        program = build_encoder_stack_program(
+            LENGTHS, EncoderWeights.zeros(SMALL), SMALL)
+        assert SMALL.num_layers == 2
+        assert "L1.ln2" in {n.name for n in program.nodes}
+        assert "L2.ln2" not in {n.name for n in program.nodes}
+
+    def test_run_stack_requires_programs_and_pipeable_shapes(self):
+        session = Session(backend="vector")
+        with pytest.raises(ProgramError):
+            session.run_stack([], {"tokens": np.zeros((1, 1), np.float32)})
+
+
+# ---------------------------------------------------------------------------
+# Cross-layer arena reuse regression
+# ---------------------------------------------------------------------------
+
+
+class TestCrossLayerArenaReuse:
+    @pytest.mark.parametrize("masked", [False, True])
+    @pytest.mark.parametrize("n_layers", [2, 4])
+    def test_stacked_peak_below_sum_of_per_layer_plans(self, n_layers,
+                                                       masked):
+        weights = EncoderWeights.zeros(SMALL)
+        stacked = plan_program(build_encoder_stack_program(
+            LENGTHS, weights, SMALL, masked=masked, n_layers=n_layers))
+        per_layer = plan_program(build_encoder_program(
+            LENGTHS, weights, SMALL, masked=masked))
+        assert stacked.arena_bytes < n_layers * per_layer.arena_bytes
+        # Cross-layer reuse keeps the stack near ONE layer's working set,
+        # not N of them: allow headroom for the boundary double buffer.
+        assert stacked.arena_bytes < 2 * per_layer.arena_bytes
+        # The greedy packing never reserves less than the liveness bound.
+        assert stacked.arena_bytes >= stacked.peak_live_bytes
+
+    def test_layer_k_plus_1_reuses_layer_k_dead_slabs(self):
+        plan = plan_program(build_encoder_stack_program(
+            LENGTHS, EncoderWeights.zeros(SMALL), SMALL, n_layers=2))
+        slabs_l0 = {slab for name, slab in plan.slab_of.items()
+                    if name.startswith("L0.")}
+        slabs_l1 = {slab for name, slab in plan.slab_of.items()
+                    if name.startswith("L1.")}
+        # Layer 1 lives almost entirely in layer 0's recycled slabs; the
+        # only new slab it may open is the boundary double buffer (the
+        # residual input L0.out_tokens pins its slab until L1.resid1).
+        assert slabs_l1 & slabs_l0
+        assert len(slabs_l1 - slabs_l0) <= 1
+
+    def test_double_buffer_rule_at_layer_boundary(self):
+        program = build_encoder_stack_program(
+            LENGTHS, EncoderWeights.zeros(SMALL), SMALL, n_layers=2)
+        plan = plan_program(program)
+        # The boundary value L0.out_tokens feeds layer 1's first
+        # projection AND its first residual add, so it must stay live
+        # until L1.resid1 executes ...
+        step_of = {program.nodes[idx].name: step
+                   for step, idx in enumerate(plan.order)}
+        birth, death = plan.liveness["L0.out_tokens"]
+        assert birth == step_of["L0.ln2"]
+        assert death == step_of["L1.resid1"]
+        # ... and during that overlap it may not share a slab with any
+        # value layer 1 produces while it is still live (double buffering
+        # across the layer boundary).
+        boundary_slab = plan.slab_of["L0.out_tokens"]
+        for name, (b, d) in plan.liveness.items():
+            if name.startswith("L1.") and b <= death:
+                assert plan.slab_of[name] != boundary_slab, name
+
+    def test_memory_report_exposes_cross_layer_savings(self):
+        from repro.analysis.memory import intermediate_memory_report
+
+        report = intermediate_memory_report(LENGTHS, SMALL, n_layers=4)
+        assert report["arena_bytes"] < report["per_layer_sum_bytes"]
+        assert report["cross_layer_savings"] > 0.4
+        assert report["peak_live_bytes"] <= report["arena_bytes"]
+        single = intermediate_memory_report(LENGTHS, SMALL)
+        assert single["per_layer_sum_bytes"] == single["arena_bytes"]

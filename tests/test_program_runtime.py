@@ -254,6 +254,51 @@ class TestSessionEncoder:
         assert session.program_compiles == 1
         assert _bit_identical(before, after)
 
+    def test_reset_replays_identical_lower_count_trajectory(self):
+        # reset() must start a session-private executor COLD: kernel cache
+        # dropped AND lowering/codegen counters zeroed, so a replayed
+        # workload reproduces the original lower_count trajectory exactly
+        # (repeated benchmark runs must not inherit warm state).
+        hidden = _hidden((5, 3, 2), seed=10)
+        weights = EncoderWeights.random(SMALL, seed=10)
+        session = Session(backend="vector",
+                          executor=Executor(backend="vector"))
+
+        def trajectory():
+            steps = []
+            for masked in (False, True):
+                run_encoder_layer_numeric(hidden, weights, SMALL,
+                                          masked=masked, session=session)
+                codegen = session.stats()["codegen"]
+                steps.append((codegen["lower_count"], codegen["vectorized"],
+                              codegen["cache_hits"]))
+            return steps
+
+        first = trajectory()
+        assert first[-1][0] > 0
+        session.reset()
+        cold = session.stats()["codegen"]
+        assert cold["lower_count"] == 0
+        assert cold["cache_hits"] == 0 and cold["cache_misses"] == 0
+        assert cold["vectorized"] == 0 and cold["fallbacks"] == 0
+        assert cold["fallback_reasons"] == {}
+        assert trajectory() == first
+
+    def test_reset_clears_signature_stats(self):
+        hidden = _hidden((4, 2), seed=11)
+        weights = EncoderWeights.random(SMALL, seed=11)
+        session = Session(backend="vector")
+        program = encoder_program([4, 2], weights, SMALL, session=session)
+        session.run(program, {"tokens": np.concatenate(hidden)},
+                    signature=(4, 2))
+        session.run(program, {"tokens": np.concatenate(hidden)},
+                    signature=(4, 2))
+        assert session.signature_stats[(4, 2)] == {"hits": 1, "misses": 1}
+        assert session.stats()["signature_hits"] == 1
+        session.reset()
+        assert session.signature_stats == {}
+        assert session.stats()["signature_misses"] == 0
+
     def test_explicit_executor_sessions_are_memoized(self):
         from repro.core.session import session_for_executor
 
