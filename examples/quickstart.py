@@ -141,6 +141,21 @@ def main() -> None:
         for b in range(len(lengths)))
     print(f"run_stack([program, stage2]) doubles twice (4*A): {quadrupled}")
 
+    # ------------------------------------------------------------------ #
+    # 6. Execution engines: HOW the compiled steps run is a pluggable
+    #    strategy.  The default SerialEngine replays the flat dispatch
+    #    loop; the PipelinedEngine dispatches each node over a worker
+    #    pool as soon as its dependence-edge predecessors retire --
+    #    bit-identical by construction, because the plan records every
+    #    data and buffer-reuse edge.
+    # ------------------------------------------------------------------ #
+    pipelined = Session(backend="vector", engine="pipelined", inplace=True)
+    result2 = pipelined.run(program, {"A": a})[scaled]
+    print("\n--- execution engines --------------------------------------")
+    print(f"pipelined engine matches serial: "
+          f"{np.array_equal(result2.data, result.data)}")
+    print(f"engine stats: {pipelined.stats()['engine']}")
+
 
 if __name__ == "__main__":
     main()

@@ -17,10 +17,13 @@ The package is organised as follows:
     IR, lowering and Python code generation, and the executor.  On top of
     single operators sits the *ragged program graph runtime*: a
     :class:`Program` graph of scheduled operators, the liveness/arena
-    planner (:mod:`repro.core.planner`), and the :class:`Session`, which
+    planner (:mod:`repro.core.planner`) with optional in-place slab
+    sharing for element-wise nodes, and the :class:`Session`, which
     compiles a whole program ahead of time for one raggedness signature
-    and executes repeated mini-batches with a flat dispatch loop over
-    reusable arena buffers.
+    and executes repeated mini-batches through a pluggable execution
+    engine (:mod:`repro.core.engine`): a serial flat dispatch loop, or a
+    pipelined engine overlapping host and kernel nodes over a worker
+    pool, both over reusable arena buffers.
 
 ``repro.substrates``
     Simulated hardware devices (GPU-like and CPU-like) and the analytical
@@ -64,6 +67,7 @@ from repro.core.operator import RaggedOperator, compute, input_tensor, placehold
 from repro.core.schedule import Schedule
 from repro.core.codegen import CodegenBackend, ScalarBackend, get_backend
 from repro.core.codegen_vector import VectorBackend
+from repro.core.engine import ExecutionEngine, PipelinedEngine, SerialEngine
 from repro.core.executor import Executor
 from repro.core.planner import ProgramPlan, plan_program
 from repro.core.program import Program, ProgramError
@@ -89,6 +93,9 @@ __all__ = [
     "VectorBackend",
     "get_backend",
     "Executor",
+    "ExecutionEngine",
+    "SerialEngine",
+    "PipelinedEngine",
     "Program",
     "ProgramError",
     "ProgramPlan",

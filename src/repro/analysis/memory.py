@@ -68,31 +68,36 @@ def memory_savings_ratio(lengths: Sequence[int],
 
 def encoder_arena_plan(lengths: Sequence[int],
                        config: TransformerConfig = PAPER_BASE_CONFIG,
-                       masked: bool = False) -> "ProgramPlan":
+                       masked: bool = False,
+                       inplace: bool = False) -> "ProgramPlan":
     """The liveness-planned arena layout of the encoder program.
 
     Declares the encoder layer as a ragged program (zero weights -- only
     the raggedness signature matters for buffer sizes) and runs the
-    planner over it, without compiling any kernels.
+    planner over it, without compiling any kernels.  ``inplace=True``
+    lets element-wise nodes (residual adds, activations) share their
+    dying input's slab instead of double-buffering.
     """
     from repro.core.planner import plan_program
     from repro.models.transformer import EncoderWeights, build_encoder_program
 
     program = build_encoder_program(lengths, EncoderWeights.zeros(config),
                                     config, masked=masked)
-    return plan_program(program)
+    return plan_program(program, inplace=inplace)
 
 
 def encoder_stack_arena_plan(lengths: Sequence[int],
                              config: TransformerConfig = PAPER_BASE_CONFIG,
                              n_layers: int = 1,
-                             masked: bool = False) -> "ProgramPlan":
+                             masked: bool = False,
+                             inplace: bool = False) -> "ProgramPlan":
     """The liveness-planned arena layout of an N-layer encoder stack.
 
     One program spans every layer, so the planner's liveness analysis
     lets layer ``k + 1`` reuse the slabs of layer ``k``'s dead
     intermediates -- peak bytes stay near one layer's working set
-    instead of growing linearly in N.
+    instead of growing linearly in N.  ``inplace=True`` additionally
+    aliases element-wise outputs onto their dying inputs' slabs.
     """
     from repro.core.planner import plan_program
     from repro.models.transformer import (
@@ -103,7 +108,7 @@ def encoder_stack_arena_plan(lengths: Sequence[int],
     program = build_encoder_stack_program(
         lengths, EncoderWeights.zeros(config), config, masked=masked,
         n_layers=n_layers)
-    return plan_program(program)
+    return plan_program(program, inplace=inplace)
 
 
 def intermediate_memory_report(lengths: Sequence[int],
@@ -120,24 +125,38 @@ def intermediate_memory_report(lengths: Sequence[int],
     the whole stack is planned as one program; ``per_layer_sum_bytes``
     reports what N independent per-layer arena plans would reserve, and
     ``cross_layer_savings`` the fraction of that the stacked plan avoids.
+    The report also plans the same program with in-place scheduling
+    (element-wise nodes aliasing their dying inputs' slabs):
+    ``arena_bytes_inplace`` / ``inplace_savings`` quantify what that
+    sharing cuts below the double-buffered arena, and ``inplace_values``
+    counts the aliased slabs.
     """
     if n_layers == 1:
         plan = encoder_arena_plan(lengths, config, masked=masked)
+        plan_ip = encoder_arena_plan(lengths, config, masked=masked,
+                                     inplace=True)
         per_layer_sum = float(plan.arena_bytes)
     else:
         plan = encoder_stack_arena_plan(lengths, config, n_layers=n_layers,
                                         masked=masked)
+        plan_ip = encoder_stack_arena_plan(lengths, config,
+                                           n_layers=n_layers, masked=masked,
+                                           inplace=True)
         single = encoder_arena_plan(lengths, config, masked=masked)
         per_layer_sum = float(single.arena_bytes) * n_layers
     return {
         "per_op_bytes": float(plan.naive_bytes),
         "arena_bytes": float(plan.arena_bytes),
+        "arena_bytes_inplace": float(plan_ip.arena_bytes),
         "peak_live_bytes": float(plan.peak_live_bytes),
         "per_layer_sum_bytes": per_layer_sum,
         "cross_layer_savings": (1.0 - plan.arena_bytes / per_layer_sum
                                 if per_layer_sum else 0.0),
         "num_values": float(plan.num_values),
         "num_slabs": float(plan.num_slabs),
+        "inplace_values": float(plan_ip.inplace_values),
+        "inplace_savings": (1.0 - plan_ip.arena_bytes / plan.arena_bytes
+                            if plan.arena_bytes else 0.0),
         "savings": plan.reuse_savings,
     }
 

@@ -1,0 +1,270 @@
+"""Pluggable execution engines: how a compiled program's steps are run.
+
+The :class:`~repro.core.session.CompiledProgram` knows *what* to execute
+(a flat list of pre-resolved dispatch steps) and the
+:class:`~repro.core.planner.ProgramPlan` knows the exact partial order
+those steps must respect (data edges plus the anti-dependences induced by
+arena-slab reuse and in-place aliasing).  An :class:`ExecutionEngine` is
+the swappable strategy in between -- the separation of the mapping space
+from mapping execution:
+
+* :class:`SerialEngine` replays the steps in plan order with a flat loop
+  -- the original ``CompiledProgram.run`` behaviour, bit for bit;
+* :class:`PipelinedEngine` dispatches over a worker pool, launching each
+  step as soon as its predecessors retire, so host marshalling nodes
+  (packed gemms, QKV splits, layer norms) overlap with compiled kernel
+  nodes.  Because every edge of ``plan.step_preds`` is honoured --
+  including the write-after-read edges the planner records for slab reuse
+  and in-place outputs -- any interleaving the engine chooses computes
+  the same values, so the result stays bit-identical to the serial
+  engine.
+
+Engines are stateless with respect to any particular program: one engine
+instance (owned by a :class:`~repro.core.session.Session`) executes every
+compiled program of that session and accumulates dispatch statistics
+across runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Step kinds, as stored in ``CompiledProgram._steps``.
+KERNEL_STEP = 0
+HOST_STEP = 1
+
+
+def dispatch_step(step: Tuple) -> None:
+    """Execute one pre-resolved dispatch step.
+
+    A kernel step zero-fills its output buffer (reproducing the fresh
+    ``RaggedTensor.zeros`` semantics of op-by-op execution) and calls the
+    generated kernel over its pre-bound buffers; a host step optionally
+    pre-zeroes outputs the host function does not promise to fill, then
+    calls it over the materialised value wrappers.
+    """
+    kind, fn, args, aux, out_flat = step
+    if kind == KERNEL_STEP:
+        out_flat.fill(0.0)
+        fn(args, aux)
+    else:
+        if aux is not None:  # host outputs needing pre-zeroing
+            for buf in aux:
+                buf.fill(0.0)
+        fn(*args)
+
+
+class ExecutionEngine:
+    """Base class of execution strategies over a compiled program's steps.
+
+    ``execute`` receives the flat step list and the :class:`ProgramPlan`
+    whose ``step_preds`` / ``step_succs`` / ``ready_steps`` encode the
+    dependence structure; it must run every step exactly once, respecting
+    the partial order, and return only once all steps have retired.
+    """
+
+    name = "engine"
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.steps_dispatched = 0
+
+    def execute(self, steps: Sequence[Tuple], plan) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent; no-op by default)."""
+
+    def reset_stats(self) -> None:
+        """Zero the dispatch counters (``Session.reset`` calls this)."""
+        self.runs = 0
+        self.steps_dispatched = 0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "engine": self.name,
+            "runs": self.runs,
+            "steps_dispatched": self.steps_dispatched,
+        }
+
+
+class SerialEngine(ExecutionEngine):
+    """The flat dispatch loop: steps run one after another in plan order.
+
+    This is the default engine and the bit-identity baseline every other
+    engine is differentially tested against.
+    """
+
+    name = "serial"
+
+    def execute(self, steps: Sequence[Tuple], plan=None) -> None:
+        for step in steps:
+            dispatch_step(step)
+        self.runs += 1
+        self.steps_dispatched += len(steps)
+
+
+class PipelinedEngine(ExecutionEngine):
+    """Dependence-driven dispatch over a shared worker pool.
+
+    Each step is submitted the moment its last predecessor retires, so
+    independent host and kernel nodes overlap (NumPy releases the GIL
+    inside its kernels).  The pool is created lazily on first use and
+    reused across runs; :meth:`close` shuts it down.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-thread count; defaults to ``min(8, cpu_count)``, floored
+        at 2 so concurrent dispatch is exercised even on one core.
+    """
+
+    name = "pipelined"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        if max_workers is None:
+            max_workers = max(2, min(8, os.cpu_count() or 2))
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+        self.max_inflight = 0
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine")
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def execute(self, steps: Sequence[Tuple], plan) -> None:
+        n = len(steps)
+        if n == 0:
+            self.runs += 1
+            return
+        if plan is None or getattr(plan, "step_preds", None) is None:
+            raise ValueError(
+                "PipelinedEngine needs a plan with dependence edges "
+                "(ProgramPlan.step_preds); got none")
+        succs = plan.step_succs
+        remaining = [len(p) for p in plan.step_preds]
+        pool = self._ensure_pool()
+        cond = threading.Condition()
+        # All counters below are guarded by ``cond``.  ``submitted`` is
+        # bumped *before* ``finished`` inside one critical section, so
+        # ``finished == submitted`` can only hold when no successor
+        # submission is pending -- the main thread's wake-up condition.
+        state = {"submitted": 0, "finished": 0, "running": 0,
+                 "max_running": 0, "failed": None}
+
+        def _submit(j: int) -> None:
+            # A failed submit (e.g. the pool was shut down concurrently
+            # by ``close``) must not strand the main thread: the step was
+            # already counted as submitted, so count it finished too and
+            # record the failure, keeping ``finished == submitted``
+            # reachable.
+            try:
+                pool.submit(_run, j)
+            except BaseException as exc:
+                with cond:
+                    if state["failed"] is None:
+                        state["failed"] = exc
+                    state["finished"] += 1
+                    cond.notify()
+
+        def _run(i: int) -> None:
+            with cond:
+                state["running"] += 1
+                if state["running"] > state["max_running"]:
+                    state["max_running"] = state["running"]
+            newly: List[int] = []
+            try:
+                dispatch_step(steps[i])
+            except BaseException as exc:  # propagate to the caller
+                with cond:
+                    if state["failed"] is None:
+                        state["failed"] = exc
+                    state["running"] -= 1
+                    state["finished"] += 1
+                    cond.notify()
+                return
+            with cond:
+                if state["failed"] is None:
+                    for j in succs[i]:
+                        remaining[j] -= 1
+                        if remaining[j] == 0:
+                            newly.append(j)
+                    state["submitted"] += len(newly)
+                state["running"] -= 1
+                state["finished"] += 1
+                cond.notify()
+            for j in newly:
+                _submit(j)
+
+        roots = list(plan.ready_steps)
+        with cond:
+            state["submitted"] = len(roots)
+        for i in roots:
+            _submit(i)
+        with cond:
+            cond.wait_for(
+                lambda: state["finished"] == state["submitted"])
+            failed = state["failed"]
+            finished = state["finished"]
+            if state["max_running"] > self.max_inflight:
+                self.max_inflight = state["max_running"]
+        if failed is not None:
+            raise failed
+        if finished != n:
+            raise RuntimeError(
+                f"pipelined dispatch retired {finished} of {n} steps; the "
+                "plan's dependence edges do not cover the step graph")
+        self.runs += 1
+        self.steps_dispatched += n
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.max_inflight = 0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            **super().stats(),
+            "max_workers": self.max_workers,
+            "max_inflight": self.max_inflight,
+        }
+
+
+def get_engine(engine: Union[str, ExecutionEngine, None]) -> ExecutionEngine:
+    """Resolve an engine argument: an instance, a name, or ``None``.
+
+    ``None`` and ``"serial"`` give a fresh :class:`SerialEngine`;
+    ``"pipelined"`` a fresh :class:`PipelinedEngine` with default workers.
+    """
+    if engine is None:
+        return SerialEngine()
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    if isinstance(engine, str):
+        name = engine.lower()
+        if name == "serial":
+            return SerialEngine()
+        if name == "pipelined":
+            return PipelinedEngine()
+        raise ValueError(
+            f"unknown engine {engine!r}; expected 'serial', 'pipelined' or "
+            "an ExecutionEngine instance")
+    raise TypeError(f"engine must be a name or ExecutionEngine, got "
+                    f"{type(engine).__name__}")

@@ -23,6 +23,7 @@ re-``exec`` entirely.  ``Executor.lower_count`` / ``cache_hits`` /
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
@@ -298,6 +299,11 @@ class Executor:
         #: The schedule/layout references keep the objects (and hence the
         #: ids in the key) alive for as long as the entry exists.
         self._kernel_cache: LRUDict[Tuple, Tuple[CompiledKernel, Schedule, object]] = LRUDict(self.cache_capacity)
+        #: guards the kernel cache and compile counters: sessions may
+        #: compile concurrently (e.g. a serving scheduler overlapping
+        #: batches while another thread warms new signatures), and the
+        #: LRU's get/put reordering is not atomic on its own.
+        self._lock = threading.RLock()
         self.lower_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -309,18 +315,27 @@ class Executor:
         schedule: Schedule,
         input_layouts: Optional[Dict[str, RaggedLayout]] = None,
     ) -> CompiledKernel:
-        """Lower and generate code for a scheduled operator (cached)."""
-        if not self.cache_enabled:
-            return self._compile_uncached(schedule, input_layouts)
-        key = (self.backend.name, schedule_signature(schedule, input_layouts))
-        entry = self._kernel_cache.get(key)
-        if entry is not None:
-            self.cache_hits += 1
-            return entry[0]
-        self.cache_misses += 1
-        compiled = self._compile_uncached(schedule, input_layouts)
-        self._kernel_cache.put(key, (compiled, schedule, input_layouts))
-        return compiled
+        """Lower and generate code for a scheduled operator (cached).
+
+        Thread-safe: cache lookups, compile-counter updates and the
+        lower+generate pass itself are serialised under the executor's
+        lock, so concurrent sessions (or a pipelined engine's worker
+        threads hitting a shared executor) never race the LRU or compile
+        the same kernel twice.
+        """
+        with self._lock:
+            if not self.cache_enabled:
+                return self._compile_uncached(schedule, input_layouts)
+            key = (self.backend.name,
+                   schedule_signature(schedule, input_layouts))
+            entry = self._kernel_cache.get(key)
+            if entry is not None:
+                self.cache_hits += 1
+                return entry[0]
+            self.cache_misses += 1
+            compiled = self._compile_uncached(schedule, input_layouts)
+            self._kernel_cache.put(key, (compiled, schedule, input_layouts))
+            return compiled
 
     def _compile_uncached(
         self,
@@ -334,17 +349,19 @@ class Executor:
 
     def clear_cache(self) -> None:
         """Drop all cached kernels (counters are left untouched)."""
-        self._kernel_cache.clear()
+        with self._lock:
+            self._kernel_cache.clear()
 
     def reset_stats(self) -> None:
         """Zero the lowering / cache counters and the backend's codegen
         (vectorized vs fallback) counters; cached kernels are kept."""
-        self.lower_count = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        reset = getattr(self.backend, "reset_stats", None)
-        if reset is not None:
-            reset()
+        with self._lock:
+            self.lower_count = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            reset = getattr(self.backend, "reset_stats", None)
+            if reset is not None:
+                reset()
 
     def reset(self) -> None:
         """Return the executor to its freshly-constructed state: drop the

@@ -1,10 +1,11 @@
-"""Program planning: topological ordering, liveness, arena assignment.
+"""Program planning: ordering, liveness, dependences, arena assignment.
 
 Given a :class:`~repro.core.program.Program` whose raggedness signature is
 fixed, every intermediate value's byte size is known before execution
 (insight I1 of the paper: raggedness is known up front).  The planner
 exploits that to replace per-op output allocation with a small set of
-reusable arena *slabs*:
+reusable arena *slabs*, and to hand execution engines an explicit
+dependence structure:
 
 1. :func:`topological_order` orders the nodes (Kahn's algorithm, stable in
    insertion order -- programs built through the ``Program`` API are
@@ -18,11 +19,22 @@ reusable arena *slabs*:
    aliases the buffers its producer reads -- overlapping producer/consumer
    lifetimes are automatically double-buffered into distinct slabs; slabs
    are recycled only once their occupant's last consumer has executed.
+   With ``inplace=True``, a node declared element-wise may instead alias
+   its (otherwise dead) input's slab -- a provably-safe in-place update.
+   The planner packs both ways and keeps the aliasing only when it does
+   not lose, so the in-place arena is never larger than the
+   double-buffered one;
+4. :func:`compute_dependences` records, per execution step, the exact set
+   of predecessor steps that must retire first: the data edges of the
+   graph plus the write-after-read edges induced by slab reuse and
+   in-place aliasing.  This is the contract the pipelined execution
+   engine schedules against -- any step order respecting ``step_preds``
+   computes bit-identical results.
 
 The resulting :class:`ProgramPlan` records the slab sizes, the per-value
-assignment and the peak arena bytes, alongside the bytes a per-op
-allocator would have touched -- the number the memory model and the
-program-runtime benchmark report.
+assignment, the in-place aliases, the dependence edges and the peak arena
+bytes, alongside the bytes a per-op allocator would have touched -- the
+numbers the memory model and the engine benchmark report.
 """
 
 from __future__ import annotations
@@ -41,7 +53,7 @@ from repro.core.program import (
 
 @dataclass
 class ProgramPlan:
-    """The execution plan of one program: order, liveness, arena layout."""
+    """The execution plan of one program: order, liveness, deps, arena."""
 
     #: node indices in execution order
     order: List[int]
@@ -56,6 +68,18 @@ class ProgramPlan:
     value_elements: Dict[str, int]
     #: bytes per element (float32 throughout the numeric path)
     itemsize: int = 4
+    #: value name -> the input value it aliases in place (same slab)
+    inplace_of: Dict[str, str] = field(default_factory=dict)
+    #: whether in-place aliasing was enabled for this plan
+    inplace: bool = False
+    #: per-step predecessor steps (data + anti-dependence edges); the
+    #: execution-engine contract -- any order respecting these edges is
+    #: bit-identical to serial plan-order execution.
+    step_preds: List[Tuple[int, ...]] = field(default_factory=list)
+    #: per-step successor steps (transpose of ``step_preds``)
+    step_succs: List[Tuple[int, ...]] = field(default_factory=list)
+    #: steps with no predecessors (the initial ready set)
+    ready_steps: Tuple[int, ...] = ()
 
     @property
     def arena_bytes(self) -> int:
@@ -69,13 +93,16 @@ class ProgramPlan:
 
     @property
     def peak_live_bytes(self) -> int:
-        """Max bytes simultaneously live at any step (liveness lower bound).
+        """Max bytes simultaneously live at any step.
 
-        No allocator can beat this; ``arena_bytes`` is what the greedy
-        best-fit packing actually reserves (>= this, since slabs are
-        sized/grown conservatively).  For an N-layer stacked program this
-        stays near one layer's working set -- the number the cross-layer
-        reuse regression pins down.
+        The liveness lower bound for a *non-aliasing* allocator;
+        ``arena_bytes`` is what the greedy best-fit packing actually
+        reserves.  In-place aliased values share their source's buffer at
+        the hand-over step, so they are counted once there -- an in-place
+        plan's arena can therefore dip below the double-buffered bound.
+        For an N-layer stacked program this stays near one layer's
+        working set -- the number the cross-layer reuse regression pins
+        down.
         """
         if not self.liveness:
             return 0
@@ -83,6 +110,10 @@ class ProgramPlan:
         live = np.zeros(steps, dtype=np.int64)
         for name, (birth, death) in self.liveness.items():
             live[birth:death + 1] += self.value_elements[name]
+        for name in self.inplace_of:
+            # At its birth step an in-place value occupies its source's
+            # buffer, not a second one.
+            live[self.liveness[name][0]] -= self.value_elements[name]
         return int(live.max()) * self.itemsize
 
     @property
@@ -92,6 +123,17 @@ class ProgramPlan:
     @property
     def num_values(self) -> int:
         return len(self.value_elements)
+
+    @property
+    def inplace_values(self) -> int:
+        """Number of values sharing their input's slab in place."""
+        return len(self.inplace_of)
+
+    @property
+    def inplace_shared_bytes(self) -> int:
+        """Bytes of buffer the in-place aliases avoided allocating."""
+        return int(sum(self.value_elements[n]
+                       for n in self.inplace_of)) * self.itemsize
 
     @property
     def reuse_savings(self) -> float:
@@ -110,6 +152,9 @@ class ProgramPlan:
             "peak_live_bytes": self.peak_live_bytes,
             "naive_bytes": self.naive_bytes,
             "reuse_savings": self.reuse_savings,
+            "inplace": self.inplace,
+            "inplace_values": self.inplace_values,
+            "inplace_shared_bytes": self.inplace_shared_bytes,
         }
 
 
@@ -162,29 +207,106 @@ def compute_liveness(program: Program,
     return liveness
 
 
-def plan_program(program: Program, itemsize: int = 4) -> ProgramPlan:
-    """Order the graph, run liveness, and pack intermediates into slabs.
+def compute_dependences(
+    program: Program,
+    order: List[int],
+    slab_of: Dict[str, int],
+    liveness: Dict[str, Tuple[int, int]],
+    inplace_of: Optional[Dict[str, str]] = None,
+) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]], Tuple[int, ...]]:
+    """Per-step dependence edges: the execution engine's contract.
 
-    Sizes come from the declared value layouts/shapes, so no compilation
-    is required (the analytical memory model plans programs directly);
-    session compilation separately validates that every kernel node's
-    declared output layout matches its compiled plan's size.
+    Three edge families, all expressed over *steps* (indices into
+    ``order``):
+
+    * **data**: a step reading a value waits for the step producing it;
+    * **in-place write-after-read**: a step writing its output into an
+      aliased input's buffer waits for every *other* consumer of that
+      input -- a concurrent engine must not let the in-place writer
+      clobber bytes a sibling reader is still consuming;
+    * **slab reuse write-after-read/write**: a step whose output is
+      assigned to a recycled slab waits for the previous occupant's
+      producer and all of its consumers.  Serial execution gets this for
+      free from step order; a concurrent engine needs the explicit edges.
+
+    Returns ``(step_preds, step_succs, ready_steps)``.
     """
-    program.validate()
-    order = topological_order(program)
-    liveness = compute_liveness(program, order)
+    inplace_of = inplace_of or {}
+    step_of = {node_idx: step for step, node_idx in enumerate(order)}
+    n = len(order)
+    preds: List[set] = [set() for _ in range(n)]
 
-    value_elements = {
-        v.name: v.num_elements for v in program.intermediates()
-    }
+    # Data edges.
+    for step, node_idx in enumerate(order):
+        node = program.nodes[node_idx]
+        for name in node.inputs:
+            producer = program.values[name].producer
+            if producer is not None and step_of[producer] != step:
+                preds[step].add(step_of[producer])
 
-    # Greedy best-fit: values are born in execution order; a slab is free
-    # once its occupant's death step has passed.  Because a node's output
-    # is assigned before its inputs are released, producer/consumer
-    # lifetime overlap never shares a slab (double buffering).
+    # In-place write-after-read edges.
+    for out_name, src_name in inplace_of.items():
+        writer = step_of[program.values[out_name].producer]
+        for consumer in program.values[src_name].consumers:
+            cs = step_of[consumer]
+            if cs != writer:
+                preds[writer].add(cs)
+
+    # Slab-reuse anti-dependence edges: for each slab, walk its occupants
+    # in birth order; each new occupant's producer must wait for the
+    # previous occupant's producer and consumers to retire.  (In-place
+    # hand-overs are covered by the edges above plus the data edge, but
+    # adding them again is harmless and keeps this loop uniform.)
+    by_slab: Dict[int, List[str]] = {}
+    for name, slab in slab_of.items():
+        by_slab.setdefault(slab, []).append(name)
+    for names in by_slab.values():
+        names.sort(key=lambda n: liveness[n][0])
+        for prev, cur in zip(names, names[1:]):
+            writer = step_of[program.values[cur].producer]
+            spec = program.values[prev]
+            touching = [spec.producer] + list(spec.consumers)
+            for node_idx in touching:
+                ts = step_of[node_idx]
+                if ts != writer:
+                    preds[writer].add(ts)
+
+    step_preds = [tuple(sorted(p)) for p in preds]
+    succs: List[set] = [set() for _ in range(n)]
+    for step, ps in enumerate(step_preds):
+        for p in ps:
+            succs[p].add(step)
+    step_succs = [tuple(sorted(s)) for s in succs]
+    ready = tuple(s for s in range(n) if not step_preds[s])
+    return step_preds, step_succs, ready
+
+
+def _pack_slabs(
+    program: Program,
+    order: List[int],
+    liveness: Dict[str, Tuple[int, int]],
+    value_elements: Dict[str, int],
+    inplace: bool,
+) -> Tuple[List[int], Dict[str, int], Dict[str, str]]:
+    """Greedy best-fit slab packing over the liveness intervals.
+
+    Values are born in execution order; a slab is free once its
+    occupant's death step has passed.  Because a node's output is
+    assigned before its inputs are released, producer/consumer lifetime
+    overlap never shares a slab (double buffering) -- unless the
+    producing node is declared element-wise and ``inplace`` reassigns
+    the dying input's slab to the output directly.
+
+    Returns ``(slab_elements, slab_of, inplace_of)``.
+    """
+    outputs = set(program.outputs)
     slab_elements: List[int] = []
     slab_of: Dict[str, int] = {}
+    inplace_of: Dict[str, str] = {}
     free: List[int] = []
+    #: slab index -> the value currently occupying it (an in-place
+    #: hand-over replaces the occupant without the slab ever going free).
+    occupant: Dict[int, str] = {}
     # values grouped by birth / death step
     births: Dict[int, List[str]] = {}
     deaths: Dict[int, List[str]] = {}
@@ -192,9 +314,39 @@ def plan_program(program: Program, itemsize: int = 4) -> ProgramPlan:
         births.setdefault(birth, []).append(name)
         deaths.setdefault(death, []).append(name)
 
+    def _inplace_source(name: str, step: int) -> Optional[str]:
+        node = program.nodes[order[step]]
+        if not node.elementwise or len(node.outputs) != 1:
+            return None
+        if not getattr(node, "fills_output", False):
+            # Kernel outputs (and host outputs needing pre-zeroing) are
+            # zero-filled before dispatch, which would clobber the
+            # aliased input before the node reads it.
+            return None
+        need = value_elements[name]
+        for cand in node.elementwise:
+            spec = program.values[cand]
+            if spec.role != ROLE_INTERMEDIATE or cand in outputs:
+                continue
+            if value_elements.get(cand) != need:
+                continue
+            if liveness[cand][1] != step:
+                # Another consumer reads the input after this node: the
+                # in-place write would clobber live bytes.
+                continue
+            return cand
+        return None
+
     for step in range(len(order)):
         for name in births.get(step, ()):
             need = value_elements[name]
+            source = _inplace_source(name, step) if inplace else None
+            if source is not None:
+                slab = slab_of[source]
+                slab_of[name] = slab
+                occupant[slab] = name
+                inplace_of[name] = source
+                continue
             best = None
             for slab in free:
                 if slab_elements[slab] >= need:
@@ -213,8 +365,66 @@ def plan_program(program: Program, itemsize: int = 4) -> ProgramPlan:
             else:
                 slab_of[name] = len(slab_elements)
                 slab_elements.append(need)
+            occupant[slab_of[name]] = name
         for name in deaths.get(step, ()):
-            free.append(slab_of[name])
+            slab = slab_of[name]
+            # An in-place successor took the slab over at this very step:
+            # it stays occupied, not free.
+            if occupant.get(slab) == name:
+                free.append(slab)
+                occupant.pop(slab)
+
+    return slab_elements, slab_of, inplace_of
+
+
+def plan_program(program: Program, itemsize: int = 4,
+                 inplace: bool = False) -> ProgramPlan:
+    """Order the graph, run liveness, pack intermediates into slabs.
+
+    Sizes come from the declared value layouts/shapes, so no compilation
+    is required (the analytical memory model plans programs directly);
+    session compilation separately validates that every kernel node's
+    declared output layout matches its compiled plan's size.
+
+    With ``inplace=True``, a single-output host node declared
+    element-wise may alias one of its declared-safe inputs instead of
+    double-buffering, provided that input is an intermediate (not a
+    program input, constant, or marked output), has exactly the output's
+    element count, and -- crucially -- has no consumer later than this
+    node: a second live reader forbids the in-place update, since the
+    write would clobber bytes that reader has yet to consume.  Aliased
+    values share the input's slab; the dependence edges recorded in
+    ``step_preds`` make the sharing safe under concurrent dispatch too.
+    Guarantee: if the aliased packing would end up *larger* than plain
+    double buffering (hand-over can strand a big recycled slab), the
+    planner falls back to the double-buffered packing, so
+    ``arena_bytes`` with ``inplace=True`` never exceeds the default.
+    """
+    program.validate()
+    order = topological_order(program)
+    liveness = compute_liveness(program, order)
+
+    value_elements = {
+        v.name: v.num_elements for v in program.intermediates()
+    }
+
+    slab_elements, slab_of, inplace_of = _pack_slabs(
+        program, order, liveness, value_elements, inplace=inplace)
+    if inplace and inplace_of:
+        # In-place hand-over keeps the source's slab occupied past its
+        # death, which can -- on adversarial shapes -- strand a large
+        # recycled slab and make the greedy total *worse* than plain
+        # double buffering.  Pack both ways and keep the aliasing only
+        # when it does not lose, so arena(inplace) <= arena(2-buffered)
+        # holds by construction.
+        plain_elements, plain_of, _ = _pack_slabs(
+            program, order, liveness, value_elements, inplace=False)
+        if sum(slab_elements) > sum(plain_elements):
+            slab_elements, slab_of, inplace_of = (
+                plain_elements, plain_of, {})
+
+    step_preds, step_succs, ready_steps = compute_dependences(
+        program, order, slab_of, liveness, inplace_of)
 
     return ProgramPlan(
         order=order,
@@ -223,4 +433,9 @@ def plan_program(program: Program, itemsize: int = 4) -> ProgramPlan:
         slab_elements=slab_elements,
         value_elements=value_elements,
         itemsize=int(itemsize),
+        inplace_of=inplace_of,
+        inplace=bool(inplace),
+        step_preds=step_preds,
+        step_succs=step_succs,
+        ready_steps=ready_steps,
     )

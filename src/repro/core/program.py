@@ -88,11 +88,23 @@ class ValueSpec:
 
 @dataclass
 class ProgramNode:
-    """Base class of program-graph nodes."""
+    """Base class of program-graph nodes.
+
+    ``elementwise`` names the inputs each output element depends on only
+    pointwise: the node's (single) output may safely alias any of those
+    inputs' buffers -- the planner uses this to schedule provably-safe
+    in-place updates that share the input's arena slab instead of double
+    buffering.
+    """
 
     name: str
     inputs: Tuple[str, ...]
     outputs: Tuple[str, ...]
+    elementwise: Tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "node"
 
 
 @dataclass
@@ -109,6 +121,10 @@ class KernelNode(ProgramNode):
     bindings: Dict[str, str] = field(default_factory=dict)
     input_layouts: Optional[Dict[str, RaggedLayout]] = None
 
+    @property
+    def kind(self) -> str:
+        return "kernel"
+
 
 @dataclass
 class HostNode(ProgramNode):
@@ -124,6 +140,10 @@ class HostNode(ProgramNode):
 
     fn: Callable = None
     fills_output: bool = True
+
+    @property
+    def kind(self) -> str:
+        return "host"
 
 
 _PROGRAM_UIDS = iter(range(1, 1 << 62))
@@ -212,12 +232,22 @@ class Program:
     def add_host(self, name: str, fn: Callable, inputs: Sequence[str],
                  output_layouts: Optional[Dict[str, RaggedLayout]] = None,
                  output_shapes: Optional[Dict[str, Sequence[int]]] = None,
-                 fills_output: bool = True) -> Tuple[str, ...]:
+                 fills_output: bool = True,
+                 elementwise: Optional[Sequence[str]] = None,
+                 ) -> Tuple[str, ...]:
         """Append a host-side step; returns its output value names.
 
         Outputs are declared through ``output_layouts`` (ragged) and/or
         ``output_shapes`` (dense); ``fn`` receives them first, in
         declaration order, followed by the materialised inputs.
+
+        ``elementwise`` names inputs the output depends on only pointwise
+        (``out[i] = f(in[i], ...)``): the planner may then alias the
+        output onto one of those inputs' arena slabs (in-place update)
+        when that input is otherwise dead.  Requires a single output of
+        the same element count as each named input, and
+        ``fills_output=True`` (a pre-zeroing pass would clobber the
+        aliased input before ``fn`` reads it).
         """
         self._check_inputs(name, inputs)
         out_names: List[str] = []
@@ -230,9 +260,31 @@ class Program:
             out_names.append(out)
         if not out_names:
             raise ProgramError(f"host node {name!r} declares no outputs")
+        elementwise = tuple(elementwise or ())
+        if elementwise:
+            if len(out_names) != 1:
+                raise ProgramError(
+                    f"host node {name!r}: elementwise (in-place-safe) nodes "
+                    f"must have exactly one output, got {len(out_names)}")
+            if not fills_output:
+                raise ProgramError(
+                    f"host node {name!r}: elementwise nodes require "
+                    "fills_output=True (pre-zeroing would clobber the "
+                    "aliased input)")
+            out_elements = self.values[out_names[0]].num_elements
+            for n in elementwise:
+                if n not in inputs:
+                    raise ProgramError(
+                        f"host node {name!r}: elementwise input {n!r} is "
+                        f"not among the node's inputs {list(inputs)}")
+                if self.values[n].num_elements != out_elements:
+                    raise ProgramError(
+                        f"host node {name!r}: elementwise input {n!r} has "
+                        f"{self.values[n].num_elements} elements but the "
+                        f"output has {out_elements}")
         self._add_node(HostNode(
             name=name, inputs=tuple(inputs), outputs=tuple(out_names),
-            fn=fn, fills_output=fills_output))
+            fn=fn, fills_output=fills_output, elementwise=elementwise))
         return tuple(out_names)
 
     def mark_output(self, *names: str) -> None:

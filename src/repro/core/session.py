@@ -30,6 +30,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.cache import LRUDict
+from repro.core.engine import (
+    ExecutionEngine,
+    HOST_STEP,
+    KERNEL_STEP,
+    SerialEngine,
+    get_engine,
+)
 from repro.core.executor import CompiledKernel, Executor, shared_executor
 from repro.core.planner import ProgramPlan, plan_program
 from repro.core.prelude import PreludeCache
@@ -45,18 +52,28 @@ from repro.core.program import (
 from repro.core.ragged_tensor import RaggedTensor
 
 
-_KERNEL_STEP = 0
-_HOST_STEP = 1
+#: Backwards-compatible aliases; the step kinds live in the engine module.
+_KERNEL_STEP = KERNEL_STEP
+_HOST_STEP = HOST_STEP
+
+#: The fallback engine used when ``CompiledProgram.run`` is called without
+#: one (the original flat-dispatch-loop behaviour, bit for bit).
+_FALLBACK_ENGINE = SerialEngine()
 
 
 class CompiledProgram:
     """One program compiled for one raggedness signature.
 
-    Holds the compiled kernels, the arena plan, the allocated slabs and a
-    flat list of dispatch steps with every buffer pre-resolved.
+    Holds the compiled kernels, the arena plan (double-buffered by
+    default; in-place slab sharing with ``inplace=True``), the allocated
+    slabs and a flat list of dispatch steps with every buffer
+    pre-resolved.  *How* the steps run is the
+    :class:`~repro.core.engine.ExecutionEngine`'s job -- ``run`` takes an
+    engine and hands it the steps plus the plan's dependence edges.
     """
 
-    def __init__(self, program: Program, executor: Executor):
+    def __init__(self, program: Program, executor: Executor,
+                 inplace: bool = False):
         program.validate()
         self.program = program
         self.executor = executor
@@ -85,8 +102,9 @@ class CompiledProgram:
             self.kernels[idx] = compiled
 
         # 2. Liveness + arena planning (sizes validated against the
-        #    compiled output plans above).
-        self.plan: ProgramPlan = plan_program(program)
+        #    compiled output plans above).  In-place mode lets
+        #    element-wise nodes share their dying input's slab.
+        self.plan: ProgramPlan = plan_program(program, inplace=inplace)
 
         # 3. Allocate the arena slabs and the persistent input staging
         #    buffers once; every later run reuses them.
@@ -165,9 +183,13 @@ class CompiledProgram:
         return self.plan.naive_bytes
 
     def stats(self) -> Dict[str, object]:
+        node_kinds: Dict[str, int] = {}
+        for node in self.program.nodes:
+            node_kinds[node.kind] = node_kinds.get(node.kind, 0) + 1
         return {
             "program": self.program.name,
             "nodes": len(self.program.nodes),
+            "node_kinds": node_kinds,
             "kernels": len(self.kernels),
             "runs": self.run_count,
             "total_run_s": self.total_run_s,
@@ -178,7 +200,8 @@ class CompiledProgram:
     # -- execution --------------------------------------------------------------
 
     def run(self, inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
-            copy_outputs: bool = True) -> Dict[str, Any]:
+            copy_outputs: bool = True,
+            engine: Optional[ExecutionEngine] = None) -> Dict[str, Any]:
         """Execute the program once over bound inputs.
 
         Input arrays are copied into the session's persistent staging
@@ -187,6 +210,11 @@ class CompiledProgram:
         ``RaggedTensor.zeros`` semantics of op-by-op execution bit for
         bit.  Outputs are returned as copies unless ``copy_outputs`` is
         false (views into the arena, only valid until the next run).
+
+        ``engine`` selects the execution strategy over the pre-resolved
+        steps (defaults to a process-wide :class:`SerialEngine` -- the
+        original flat dispatch loop); any engine respecting the plan's
+        dependence edges produces bit-identical outputs.
         """
         t0 = time.perf_counter()
         for name, stage, dtype in self._input_specs:
@@ -202,15 +230,7 @@ class CompiledProgram:
                     f"expects {stage.size}")
             np.copyto(stage, src)
 
-        for kind, fn, args, aux, out_flat in self._steps:
-            if kind == _KERNEL_STEP:
-                out_flat.fill(0.0)
-                fn(args, aux)
-            else:
-                if aux is not None:  # host outputs needing pre-zeroing
-                    for buf in aux:
-                        buf.fill(0.0)
-                fn(*args)
+        (engine or _FALLBACK_ENGINE).execute(self._steps, self.plan)
 
         result: Dict[str, Any] = {}
         for name in self.program.outputs:
@@ -236,13 +256,24 @@ class Session:
         kernel caches are shared with op-by-op execution.
     program_capacity:
         LRU bound on compiled programs kept alive by this session.
+    engine:
+        Execution strategy over compiled-program steps: ``"serial"``
+        (default -- the flat dispatch loop), ``"pipelined"`` (dependence-
+        driven worker-pool dispatch overlapping host and kernel nodes),
+        or an :class:`~repro.core.engine.ExecutionEngine` instance.
+    inplace:
+        Plan element-wise nodes' outputs into their dying input's arena
+        slab instead of double-buffering (bit-identical by construction;
+        shrinks the arena).  Off by default.
     """
 
     def __init__(self, backend: str = "vector",
                  executor: Optional[Executor] = None,
                  program_capacity: int = 64,
                  prelude_capacity: int = 128,
-                 signature_capacity: int = 1024):
+                 signature_capacity: int = 1024,
+                 engine: Union[str, ExecutionEngine, None] = "serial",
+                 inplace: bool = False):
         #: whether the executor is session-private (passed explicitly) or
         #: the process-wide shared one -- ``reset`` only clears the kernel
         #: cache of a private executor.
@@ -250,6 +281,15 @@ class Session:
         self.executor = executor if executor is not None \
             else shared_executor(backend)
         self.backend = self.executor.backend.name
+        #: the session's execution engine (shared by every compiled
+        #: program run through this session).  An engine passed as an
+        #: *instance* may be shared across sessions, so only engines the
+        #: session constructed itself (from a name / ``None``) are shut
+        #: down by :meth:`close`.
+        self._owns_engine = not isinstance(engine, ExecutionEngine)
+        self.engine: ExecutionEngine = get_engine(engine)
+        #: whether programs are planned with in-place slab sharing.
+        self.inplace = bool(inplace)
         #: compiled programs, keyed by program uid (the program object is
         #: pinned alongside so the uid stays unique for the entry's life).
         self._programs: LRUDict = LRUDict(program_capacity)
@@ -304,7 +344,8 @@ class Session:
         self.program_compiles += 1
         if signature is not None:
             self._note_signature(signature, hit=False)
-        compiled = CompiledProgram(program, self.executor)
+        compiled = CompiledProgram(program, self.executor,
+                                   inplace=self.inplace)
         self._programs.put(program.uid, (compiled, program))
         return compiled
 
@@ -314,9 +355,11 @@ class Session:
             inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
             copy_outputs: bool = True,
             signature: Optional[Any] = None) -> Dict[str, Any]:
-        """Compile (cached) and execute a program over bound inputs."""
+        """Compile (cached) and execute a program over bound inputs
+        through the session's execution engine."""
         compiled = self.compile(program, signature=signature)
-        result = compiled.run(inputs, copy_outputs=copy_outputs)
+        result = compiled.run(inputs, copy_outputs=copy_outputs,
+                              engine=self.engine)
         self.run_count += 1
         return result
 
@@ -404,13 +447,38 @@ class Session:
         self.signature_stats.clear()
         self._signature_totals["hits"] = 0
         self._signature_totals["misses"] = 0
+        self.engine.reset_stats()
         if self._private_executor:
             self.executor.reset()
 
+    def close(self) -> None:
+        """Release the engine's worker resources (idempotent).
+
+        A pipelined engine keeps a thread pool alive across runs; call
+        this (or use the session as a context manager) when the session
+        is done, so repeatedly constructed sessions do not accumulate
+        idle worker threads for the process lifetime.  The session
+        remains usable afterwards -- the engine recreates its pool
+        lazily on the next run.  An engine passed in as an instance is
+        left alone (it may be serving other sessions' in-flight runs);
+        close it explicitly via ``engine.close()`` when *you* are done
+        with it.
+        """
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def stats(self) -> Dict[str, object]:
-        """Session counters plus the executor's codegen statistics."""
+        """Session counters plus engine and executor codegen statistics."""
         return {
             "backend": self.backend,
+            "engine": self.engine.stats(),
+            "inplace": self.inplace,
             "program_compiles": self.program_compiles,
             "program_cache_hits": self.program_cache_hits,
             "runs": self.run_count,

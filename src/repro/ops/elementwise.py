@@ -63,27 +63,38 @@ def residual_add(x: RaggedTensor, residual: RaggedTensor) -> RaggedTensor:
 
 def add_node(program: "Program", x: str, y: str, name: str = "add",
              out: str = None) -> str:
-    """Append an elementwise sum of two dense values (residual adds)."""
+    """Append an elementwise sum of two dense values (residual adds).
+
+    Declared element-wise in both inputs: ``np.add`` is alias-safe when
+    its output buffer is one of its operands, so the planner may schedule
+    the sum in place over whichever input dies here, sharing its arena
+    slab instead of double-buffering.
+    """
     def _add(out_mat, a, b):
         np.add(a, b, out=out_mat)
 
     (value,) = program.add_host(
         name, _add, [x, y],
         output_shapes={out or name: program.dense_shape_of(x)},
-        fills_output=True)
+        fills_output=True, elementwise=(x, y))
     return value
 
 
 def relu_node(program: "Program", x: str, name: str = "relu",
               out: str = None) -> str:
-    """Append a rectified linear unit over a dense value."""
+    """Append a rectified linear unit over a dense value.
+
+    Declared element-wise: ``np.maximum(a, 0.0, out=a)`` is alias-safe,
+    so the activation may overwrite its input's slab in place when that
+    input has no later reader.
+    """
     def _relu(out_mat, a):
         np.maximum(a, 0.0, out=out_mat)
 
     (value,) = program.add_host(
         name, _relu, [x],
         output_shapes={out or name: program.dense_shape_of(x)},
-        fills_output=True)
+        fills_output=True, elementwise=(x,))
     return value
 
 

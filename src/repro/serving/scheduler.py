@@ -10,6 +10,14 @@ Recurring signatures hit the session's compiled-program cache, so no
 kernel is re-lowered, no arena re-planned, no prelude rebuilt; the
 session's per-signature hit/miss statistics quantify the reuse.
 
+Batches execute through the session's pluggable
+:class:`~repro.core.engine.ExecutionEngine` (construct the session with
+``engine="pipelined"`` to overlap host and kernel nodes *within* a
+batch), and with ``overlap_demux=True`` the scheduler additionally
+pipelines *across* batches: the demultiplexing of batch ``k``'s outputs
+into per-request rows runs on a background worker while the main thread
+already executes batch ``k + 1``.
+
 Bucketing trades compute for reuse exactly like the paper's partial
 padding: a tolerance ``t`` pads each sequence with at most ``t - 1``
 zero tokens, collapsing nearby lengths onto one signature.  Padding is
@@ -94,13 +102,19 @@ class BatchScheduler:
         :meth:`replay_bit_identical`.  Off by default: the log grows
         with every request served, which a long-running server cannot
         afford -- differential tests and benchmarks opt in.
+    overlap_demux:
+        Pipeline :meth:`drain` across batches: demultiplex batch ``k``'s
+        (copied) outputs on a background worker while batch ``k + 1``
+        executes.  ``step`` stays synchronous either way.  Off by
+        default; bit-identical when on (the demux math is unchanged,
+        only *when* it runs moves).
     """
 
     def __init__(self, weights, config: TransformerConfig = PAPER_BASE_CONFIG,
                  *, session: Optional[Session] = None, masked: bool = False,
                  n_layers: Optional[int] = None, max_batch_size: int = 8,
                  bucket_tolerance: int = 1, sort_by_length: bool = True,
-                 log_batches: bool = False):
+                 log_batches: bool = False, overlap_demux: bool = False):
         if max_batch_size <= 0:
             raise ValueError(
                 f"max_batch_size must be positive, got {max_batch_size}")
@@ -121,11 +135,15 @@ class BatchScheduler:
         self.bucket_tolerance = int(bucket_tolerance)
         self.sort_by_length = bool(sort_by_length)
         self.log_batches = bool(log_batches)
+        self.overlap_demux = bool(overlap_demux)
+        #: lazily created single-worker pool for overlapped demultiplexing
+        self._demux_pool = None
 
         self.queue = RequestQueue()
         self.batch_log: List[ScheduledBatch] = []
         self.num_batches = 0
         self.num_completed = 0
+        self.overlapped_batches = 0
         self.valid_tokens = 0
         self.padded_tokens = 0
         #: session counters at construction time -- ``stats`` reports
@@ -176,20 +194,31 @@ class BatchScheduler:
             signature=padded, requests=tuple(requests),
             lengths=tuple(r.length for r in requests))
 
-    def _execute(self, batch: ScheduledBatch) -> Dict[int, np.ndarray]:
+    def _run_program(self, batch: ScheduledBatch,
+                     copy_outputs: bool) -> np.ndarray:
+        """Execute one batch's program through the session (and hence its
+        execution engine); returns the packed output token matrix."""
         program = encoder_stack_program(
             batch.padded_lengths, self.weights, self.config,
             masked=self.masked, n_layers=self.n_layers, session=self.session)
         packed = np.concatenate(
             batch.padded_inputs(self.config.hidden_size), axis=0)
-        out = self.session.run(program, {"tokens": packed},
-                               copy_outputs=False,
-                               signature=batch.signature)["out_tokens"]
+        return self.session.run(program, {"tokens": packed},
+                                copy_outputs=copy_outputs,
+                                signature=batch.signature)["out_tokens"]
+
+    @staticmethod
+    def _demux(batch: ScheduledBatch, out: np.ndarray) -> Dict[int, np.ndarray]:
+        """Split packed outputs back into per-request rows (padding
+        stripped).  Pure function of its arguments, so it can run on the
+        overlap worker while the next batch executes."""
         rows = unpack_tokens(out, batch.padded_lengths)
-        results = {
+        return {
             request.request_id: rows[slot][:request.length].copy()
             for slot, request in enumerate(batch.requests)
         }
+
+    def _note_batch(self, batch: ScheduledBatch) -> None:
         self.num_batches += 1
         self.num_completed += len(batch.requests)
         self.valid_tokens += sum(batch.lengths)
@@ -201,7 +230,43 @@ class BatchScheduler:
             self._signatures_seen.add(batch.signature)
         if self.log_batches:
             self.batch_log.append(batch)
-        return results
+
+    def _next_batch(self) -> Optional[ScheduledBatch]:
+        """Pop and canonicalise the next batch; ``None`` when idle."""
+        requests = self.queue.pop(self.max_batch_size)
+        if not requests:
+            return None
+        return self._form_batch(requests)
+
+    def _dispatch_batch(self, batch: ScheduledBatch,
+                        copy_outputs: bool) -> np.ndarray:
+        """The one batch execution path both drain modes share: run the
+        program and record the throughput/signature accounting."""
+        out = self._run_program(batch, copy_outputs=copy_outputs)
+        self._note_batch(batch)
+        return out
+
+    def _ensure_demux_pool(self):
+        if self._demux_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._demux_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-demux")
+        return self._demux_pool
+
+    def close(self) -> None:
+        """Shut down the overlap worker (idempotent; recreated lazily if
+        the scheduler is used again).  Does NOT close the session -- it
+        may be shared; call ``session.close()`` separately."""
+        if self._demux_pool is not None:
+            self._demux_pool.shutdown(wait=True)
+            self._demux_pool = None
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def step(self) -> Dict[int, np.ndarray]:
         """Schedule and run one batch; ``{}`` when nothing is pending.
@@ -210,16 +275,43 @@ class BatchScheduler:
         hidden_size)`` array keyed by request id (padding rows are
         stripped during demultiplexing).
         """
-        requests = self.queue.pop(self.max_batch_size)
-        if not requests:
+        batch = self._next_batch()
+        if batch is None:
             return {}
-        return self._execute(self._form_batch(requests))
+        # Zero-copy demux: the packed output stays an arena view, valid
+        # until the session's next run -- which only happens after the
+        # per-request rows have been copied out by _demux.
+        out = self._dispatch_batch(batch, copy_outputs=False)
+        return self._demux(batch, out)
 
     def drain(self) -> Dict[int, np.ndarray]:
-        """Run scheduling steps until the queue is empty; merged results."""
-        results: Dict[int, np.ndarray] = {}
-        while len(self.queue):
-            results.update(self.step())
+        """Run scheduling steps until the queue is empty; merged results.
+
+        With ``overlap_demux=True`` the drain is pipelined: batch ``k``'s
+        outputs are copied out of the arena and handed to a background
+        worker for demultiplexing while the main thread executes batch
+        ``k + 1``.  Results are identical to the synchronous drain.
+        """
+        if not self.overlap_demux:
+            results: Dict[int, np.ndarray] = {}
+            while len(self.queue):
+                results.update(self.step())
+            return results
+
+        pool = self._ensure_demux_pool()
+        futures = []
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            # copy_outputs=True: the demux worker must not read arena
+            # views the next batch's execution is about to overwrite.
+            out = self._dispatch_batch(batch, copy_outputs=True)
+            futures.append(pool.submit(self._demux, batch, out))
+            self.overlapped_batches += 1
+        results = {}
+        for future in futures:
+            results.update(future.result())
         return results
 
     # -- differential checking --------------------------------------------------
@@ -267,6 +359,7 @@ class BatchScheduler:
             "pending": self.pending,
             "num_batches": self.num_batches,
             "num_completed": self.num_completed,
+            "overlapped_batches": self.overlapped_batches,
             "valid_tokens": self.valid_tokens,
             "padded_tokens": self.padded_tokens,
             "padding_overhead": (

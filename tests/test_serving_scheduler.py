@@ -212,6 +212,32 @@ class TestSchedulerPaddingAndValidation:
         scheduler.drain()
         assert np.array_equal(first, saved)
 
+    def test_overlapped_drain_bit_identical_to_synchronous(self):
+        # Pipelining demux of batch k with execution of batch k+1 must not
+        # change a single bit of any response, for serial and pipelined
+        # engines alike.
+        stream = _requests([3, 7, 5, 2, 9, 4, 6], seed=9)
+        baseline = BatchScheduler(WEIGHTS, SMALL,
+                                  session=Session(backend="vector"),
+                                  masked=True, max_batch_size=2,
+                                  bucket_tolerance=2)
+        ids = baseline.submit_many(stream)
+        expected = baseline.drain()
+        for engine, inplace in (("serial", False), ("pipelined", True)):
+            session = Session(backend="vector", engine=engine,
+                              inplace=inplace)
+            overlapped = BatchScheduler(WEIGHTS, SMALL, session=session,
+                                        masked=True, max_batch_size=2,
+                                        bucket_tolerance=2,
+                                        overlap_demux=True)
+            ids2 = overlapped.submit_many(stream)
+            results = overlapped.drain()
+            assert sorted(results) == sorted(ids2)
+            for a, b in zip(ids, ids2):
+                assert np.array_equal(expected[a], results[b])
+            stats = overlapped.stats()
+            assert stats["overlapped_batches"] == stats["num_batches"] > 0
+
 
 # ---------------------------------------------------------------------------
 # Request queue
