@@ -60,6 +60,13 @@ The package is organised as follows:
 """
 
 from repro.core.dims import Dim
+from repro.core.errors import (
+    CompileError,
+    CoraError,
+    DeadlineExceeded,
+    ExecutionError,
+    QueueFull,
+)
 from repro.core.extents import ConstExtent, Extent, VarExtent
 from repro.core.ragged_tensor import RaggedTensor
 from repro.core.storage import RaggedLayout
@@ -72,7 +79,14 @@ from repro.core.executor import Executor
 from repro.core.planner import ProgramPlan, plan_program
 from repro.core.program import Program, ProgramError
 from repro.core.session import CompiledProgram, Session, default_session
-from repro.serving import BatchScheduler, Request, RequestQueue
+from repro.serving import (
+    BatchScheduler,
+    FailedResult,
+    FaultInjector,
+    Request,
+    RequestQueue,
+    RequestState,
+)
 
 __version__ = "0.1.0"
 
@@ -106,5 +120,13 @@ __all__ = [
     "BatchScheduler",
     "Request",
     "RequestQueue",
+    "RequestState",
+    "FaultInjector",
+    "FailedResult",
+    "CoraError",
+    "CompileError",
+    "ExecutionError",
+    "DeadlineExceeded",
+    "QueueFull",
     "__version__",
 ]

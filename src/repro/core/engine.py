@@ -70,6 +70,10 @@ class ExecutionEngine:
     def __init__(self) -> None:
         self.runs = 0
         self.steps_dispatched = 0
+        #: optional :class:`~repro.serving.faults.FaultInjector` wired in
+        #: by the owning session; engines that dispatch on workers fire
+        #: their injection point per step (see ``PipelinedEngine``).
+        self.fault_injector = None
 
     def execute(self, steps: Sequence[Tuple], plan) -> None:
         raise NotImplementedError
@@ -192,6 +196,13 @@ class PipelinedEngine(ExecutionEngine):
                     state["max_running"] = state["running"]
             newly: List[int] = []
             try:
+                # Named injection point "pipelined_worker": a fault here
+                # surfaces through the engine's normal failure path, so
+                # callers exercise the real worker-death recovery (the
+                # serving scheduler retries once on a SerialEngine).
+                injector = self.fault_injector
+                if injector is not None:
+                    injector.fire("pipelined_worker", step=i)
                 dispatch_step(steps[i])
             except BaseException as exc:  # propagate to the caller
                 with cond:

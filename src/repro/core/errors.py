@@ -27,3 +27,21 @@ class BoundsError(CoraError):
 
 class ExecutionError(CoraError):
     """A runtime failure while executing a generated kernel or prelude."""
+
+
+class CompileError(CoraError):
+    """Ahead-of-time compilation of a program failed.
+
+    Raised when a :class:`~repro.core.session.Session` cannot produce a
+    :class:`~repro.core.session.CompiledProgram` for a raggedness
+    signature.  The serving scheduler treats this as recoverable: the
+    batch degrades to the retained op-by-op execution path.
+    """
+
+
+class DeadlineExceeded(CoraError):
+    """A request's deadline passed before it could be served."""
+
+
+class QueueFull(CoraError):
+    """A bounded request queue is at capacity and cannot admit more."""

@@ -201,7 +201,8 @@ class CompiledProgram:
 
     def run(self, inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
             copy_outputs: bool = True,
-            engine: Optional[ExecutionEngine] = None) -> Dict[str, Any]:
+            engine: Optional[ExecutionEngine] = None,
+            fault_injector=None) -> Dict[str, Any]:
         """Execute the program once over bound inputs.
 
         Input arrays are copied into the session's persistent staging
@@ -236,6 +237,12 @@ class CompiledProgram:
         for name in self.program.outputs:
             value = self._wrapped[name]
             result[name] = value.copy() if copy_outputs else value
+        if fault_injector is not None:
+            # Named injection point "run": fired on the packed outputs so
+            # "corrupt" faults truncate the result rows (a realistic
+            # short-transfer failure) while "raise" emulates a kernel
+            # failure surfacing out of dispatch.
+            result = fault_injector.fire("run", result)
         self.last_run_s = time.perf_counter() - t0
         self.total_run_s += self.last_run_s
         self.run_count += 1
@@ -265,6 +272,12 @@ class Session:
         Plan element-wise nodes' outputs into their dying input's arena
         slab instead of double-buffering (bit-identical by construction;
         shrinks the arena).  Off by default.
+    fault_injector:
+        Optional :class:`~repro.serving.faults.FaultInjector` threaded
+        through the session's injection points (``"compile"`` on a
+        program-cache miss, ``"run"`` on a compiled program's outputs)
+        and onto the session's engine (``"pipelined_worker"``).  ``None``
+        (default) leaves every path untouched.
     """
 
     def __init__(self, backend: str = "vector",
@@ -273,7 +286,8 @@ class Session:
                  prelude_capacity: int = 128,
                  signature_capacity: int = 1024,
                  engine: Union[str, ExecutionEngine, None] = "serial",
-                 inplace: bool = False):
+                 inplace: bool = False,
+                 fault_injector=None):
         #: whether the executor is session-private (passed explicitly) or
         #: the process-wide shared one -- ``reset`` only clears the kernel
         #: cache of a private executor.
@@ -288,6 +302,11 @@ class Session:
         #: down by :meth:`close`.
         self._owns_engine = not isinstance(engine, ExecutionEngine)
         self.engine: ExecutionEngine = get_engine(engine)
+        #: fault injection for this session's compile/run paths; also
+        #: wired onto the engine so pipelined workers fire their point.
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            self.engine.fault_injector = fault_injector
         #: whether programs are planned with in-place slab sharing.
         self.inplace = bool(inplace)
         #: compiled programs, keyed by program uid (the program object is
@@ -341,6 +360,12 @@ class Session:
             if signature is not None:
                 self._note_signature(signature, hit=True)
             return entry[0]
+        if self.fault_injector is not None:
+            # Named injection point "compile": fired on a cache miss
+            # before any counter moves or lowering starts, so a failed
+            # compile leaves the caches coherent and a later attempt at
+            # the same signature compiles cleanly.
+            self.fault_injector.fire("compile", signature=signature)
         self.program_compiles += 1
         if signature is not None:
             self._note_signature(signature, hit=False)
@@ -354,12 +379,19 @@ class Session:
     def run(self, program: Program,
             inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
             copy_outputs: bool = True,
-            signature: Optional[Any] = None) -> Dict[str, Any]:
+            signature: Optional[Any] = None,
+            engine: Optional[ExecutionEngine] = None) -> Dict[str, Any]:
         """Compile (cached) and execute a program over bound inputs
-        through the session's execution engine."""
+        through the session's execution engine.
+
+        ``engine`` overrides the session's engine for this run only --
+        the serving scheduler uses this to retry a batch on a
+        :class:`SerialEngine` after a pipelined worker failure.
+        """
         compiled = self.compile(program, signature=signature)
         result = compiled.run(inputs, copy_outputs=copy_outputs,
-                              engine=self.engine)
+                              engine=engine or self.engine,
+                              fault_injector=self.fault_injector)
         self.run_count += 1
         return result
 

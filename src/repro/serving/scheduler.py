@@ -1,4 +1,4 @@
-"""Continuous batching over the ragged program runtime.
+"""Continuous batching over the ragged program runtime, fault-tolerantly.
 
 The :class:`BatchScheduler` sits between individual ragged requests and
 :meth:`repro.Session.run`.  Each scheduling step it takes the next (up to)
@@ -25,20 +25,83 @@ only *exact* under causal masking -- a padded key column receives an
 additive ``-inf`` mask, its softmax weight is exactly zero, and the valid
 rows are unchanged -- so tolerances above 1 require ``masked=True``; the
 unmasked encoder attends over every key and must keep exact signatures.
+
+Failure semantics
+-----------------
+A production drain must survive faults, and every submitted request must
+resolve to exactly one terminal answer: its output rows, or a structured
+:class:`~repro.serving.faults.FailedResult`.  The recovery ladder, in
+order:
+
+1. **Admission control.**  Malformed requests (wrong ``hidden_size``,
+   empty, optionally non-finite under ``validate_finite``) are rejected
+   at ``submit`` with a ``ValueError`` -- they never reach a batch.  A
+   bounded queue sheds under backpressure per its policy
+   (``REJECTED`` / ``TIMED_OUT`` results, never an exception mid-drain).
+2. **Deadlines.**  Requests whose deadline passed are dropped at
+   batch-formation time with ``TIMED_OUT`` results instead of wasting
+   batch compute.
+3. **Graceful degradation.**  A compile failure
+   (:class:`~repro.core.errors.CompileError` / lowering errors) for a
+   batch's signature falls back to the retained op-by-op execution path
+   (bit-identical when it uses the same codegen backend); a pipelined
+   engine failure retries the batch once on a
+   :class:`~repro.core.engine.SerialEngine`.
+4. **Failure isolation.**  A batch that still raises is *bisected*:
+   split-and-retry halves isolate the poison request, healthy rows
+   re-run (and complete), and the poison request -- after its retry
+   budget, with exponential backoff -- resolves to a ``FAILED`` result
+   carrying the error type, message, and attempt count.
+5. **Demux recovery.**  A demultiplexing failure (including on the
+   overlap worker) is retried once synchronously; outstanding demux
+   futures are always flushed, so a failed drain cannot wedge the pool.
+
+Every path above is exercised deterministically by the
+:class:`~repro.serving.faults.FaultInjector` (see
+``benchmarks/bench_faults.py`` and ``tests/test_faults.py``); with no
+injector attached the happy path is the pre-fault-tolerance code, bit
+for bit.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, \
+    Tuple, Union
 
 import numpy as np
 
+from repro.core.engine import PipelinedEngine, SerialEngine
+from repro.core.errors import (
+    CompileError,
+    DeadlineExceeded,
+    ExecutionError,
+    LoweringError,
+)
 from repro.core.session import Session, default_session
 from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
-from repro.models.transformer import encoder_stack_program
+from repro.models.transformer import (
+    _weights_per_layer,
+    encoder_stack_program,
+    run_encoder_layer_opbyop,
+)
 from repro.ops.projection import unpack_tokens
-from repro.serving.queue import Request, RequestQueue, bucketed_length
+from repro.serving.faults import FailedResult, FaultInjector
+from repro.serving.queue import (
+    Request,
+    RequestQueue,
+    RequestState,
+    bucketed_length,
+)
+
+#: Result type a drain resolves each request to.
+RequestResult = Union[np.ndarray, FailedResult]
+
+#: Compile-path errors the scheduler degrades on (op-by-op fallback)
+#: instead of failing the batch.  ``VectorizeError`` subclasses
+#: ``LoweringError``, so per-kernel vectorization failures are covered.
+DEGRADABLE_ERRORS = (CompileError, LoweringError)
 
 
 @dataclass(frozen=True)
@@ -55,6 +118,10 @@ class ScheduledBatch:
         """Bucketed (padded) length per slot -- the signature IS the
         per-slot padded length tuple."""
         return self.signature
+
+    @property
+    def request_ids(self) -> Tuple[int, ...]:
+        return tuple(r.request_id for r in self.requests)
 
     @property
     def padding_tokens(self) -> int:
@@ -108,13 +175,39 @@ class BatchScheduler:
         executes.  ``step`` stays synchronous either way.  Off by
         default; bit-identical when on (the demux math is unchanged,
         only *when* it runs moves).
+    queue_capacity:
+        Bound on pending requests; ``None`` (default) is unbounded.
+    shed_policy:
+        Backpressure policy of a bounded queue: ``"reject_newest"`` or
+        ``"drop_expired_first"`` (see :class:`RequestQueue`).
+    default_deadline_s:
+        Deadline (relative seconds) applied to requests submitted
+        without an explicit one; ``None`` = no deadline.
+    max_retries:
+        Default per-request retry budget: extra isolated execution
+        attempts a poison-suspected request gets before it is failed.
+    retry_backoff_s:
+        Base of the exponential backoff slept before isolated retry
+        ``k`` (``retry_backoff_s * 2**k`` seconds); ``0`` disables
+        sleeping (the default -- tests and benchmarks stay fast).
+    validate_finite:
+        Reject requests containing NaN/Inf values at admission.
+    clock:
+        Monotonic time source for deadlines (injectable for tests).
     """
 
     def __init__(self, weights, config: TransformerConfig = PAPER_BASE_CONFIG,
                  *, session: Optional[Session] = None, masked: bool = False,
                  n_layers: Optional[int] = None, max_batch_size: int = 8,
                  bucket_tolerance: int = 1, sort_by_length: bool = True,
-                 log_batches: bool = False, overlap_demux: bool = False):
+                 log_batches: bool = False, overlap_demux: bool = False,
+                 queue_capacity: Optional[int] = None,
+                 shed_policy: str = "reject_newest",
+                 default_deadline_s: Optional[float] = None,
+                 max_retries: int = 0,
+                 retry_backoff_s: float = 0.0,
+                 validate_finite: bool = False,
+                 clock: Callable[[], float] = time.monotonic):
         if max_batch_size <= 0:
             raise ValueError(
                 f"max_batch_size must be positive, got {max_batch_size}")
@@ -126,6 +219,11 @@ class BatchScheduler:
                 "bucket_tolerance > 1 pads sequences, which is only exact "
                 "under causal masking (padded keys get zero attention "
                 "weight); pass masked=True or keep bucket_tolerance <= 1")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
         self.weights = weights
         self.config = config
         self.session = session or default_session()
@@ -136,16 +234,35 @@ class BatchScheduler:
         self.sort_by_length = bool(sort_by_length)
         self.log_batches = bool(log_batches)
         self.overlap_demux = bool(overlap_demux)
+        self.default_deadline_s = default_deadline_s
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.validate_finite = bool(validate_finite)
         #: lazily created single-worker pool for overlapped demultiplexing
         self._demux_pool = None
+        #: lazily created serial engine for pipelined-failure retries
+        self._serial_fallback: Optional[SerialEngine] = None
 
-        self.queue = RequestQueue()
+        self.queue = RequestQueue(capacity=queue_capacity,
+                                  shed_policy=shed_policy, clock=clock)
         self.batch_log: List[ScheduledBatch] = []
         self.num_batches = 0
         self.num_completed = 0
         self.overlapped_batches = 0
         self.valid_tokens = 0
         self.padded_tokens = 0
+        #: structured failures awaiting delivery (request id -> result);
+        #: merged into the next ``step``/``drain`` return value.
+        self._failures: Dict[int, FailedResult] = {}
+        #: fault-tolerance counters (see ``stats``)
+        self.failed_requests = 0
+        self.timed_out_requests = 0
+        self.rejected_requests = 0
+        self.retries = 0
+        self.isolation_runs = 0
+        self.degraded_batches = 0
+        self.engine_fallbacks = 0
+        self.demux_recoveries = 0
         #: session counters at construction time -- ``stats`` reports
         #: deltas against these, so other users of a shared session
         #: (another scheduler, direct ``Session.run`` calls made before
@@ -161,23 +278,69 @@ class BatchScheduler:
                 for key in ("signature_hits", "signature_misses",
                             "program_compiles", "program_cache_hits")}
 
+    def _injector(self) -> Optional[FaultInjector]:
+        return getattr(self.session, "fault_injector", None)
+
     # -- request intake ---------------------------------------------------------
 
-    def submit(self, hidden: np.ndarray) -> int:
-        """Enqueue one ``(length, hidden_size)`` request; returns its id."""
+    def submit(self, hidden: np.ndarray, *,
+               deadline_s: Optional[float] = None,
+               max_retries: Optional[int] = None) -> int:
+        """Enqueue one ``(length, hidden_size)`` request; returns its id.
+
+        Admission control happens here: a malformed request (wrong
+        ``hidden_size``, empty, or -- under ``validate_finite`` --
+        containing NaN/Inf) raises ``ValueError`` immediately instead of
+        poisoning a batch later.  A full bounded queue sheds per its
+        policy; the shed request's id is still returned and it resolves
+        to a ``REJECTED``/``TIMED_OUT`` :class:`FailedResult`.
+        """
         hidden = np.asarray(hidden)
         if hidden.ndim != 2 or hidden.shape[1] != self.config.hidden_size:
             raise ValueError(
                 f"request must be (length, {self.config.hidden_size}), "
                 f"got shape {hidden.shape}")
-        return self.queue.submit(hidden)
+        if self.validate_finite and not np.isfinite(hidden).all():
+            raise ValueError(
+                "request contains non-finite values (NaN/Inf); rejected at "
+                "admission (validate_finite=True)")
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        if max_retries is None:
+            max_retries = self.max_retries
+        request_id = self.queue.submit(hidden, deadline_s=deadline_s,
+                                       max_retries=max_retries)
+        self._absorb_shed()
+        return request_id
 
-    def submit_many(self, hiddens: Iterable[np.ndarray]) -> List[int]:
-        return [self.submit(h) for h in hiddens]
+    def submit_many(self, hiddens: Iterable[np.ndarray],
+                    **kwargs) -> List[int]:
+        return [self.submit(h, **kwargs) for h in hiddens]
 
     @property
     def pending(self) -> int:
         return len(self.queue)
+
+    def _record_failure(self, request: Request,
+                        exc: BaseException) -> FailedResult:
+        result = FailedResult.from_exception(
+            request.request_id, request.state, exc,
+            attempts=request.attempts)
+        self._failures[request.request_id] = result
+        return result
+
+    def _absorb_shed(self) -> None:
+        """Convert queue-shed requests into deliverable failure results."""
+        for request in self.queue.drain_shed():
+            if request.state is RequestState.REJECTED:
+                self.rejected_requests += 1
+                exc: BaseException = _queue_full_error(self.queue)
+            else:
+                self.timed_out_requests += 1
+                exc = DeadlineExceeded(
+                    f"request {request.request_id} expired while queued "
+                    "(shed under backpressure)")
+            self._record_failure(request, exc)
 
     # -- batch formation and execution ------------------------------------------
 
@@ -194,8 +357,32 @@ class BatchScheduler:
             signature=padded, requests=tuple(requests),
             lengths=tuple(r.length for r in requests))
 
-    def _run_program(self, batch: ScheduledBatch,
-                     copy_outputs: bool) -> np.ndarray:
+    def _next_batch(self) -> Optional[ScheduledBatch]:
+        """Pop and canonicalise the next batch; ``None`` when idle.
+
+        Deadline-expired requests are dropped here -- at batch-formation
+        time, before any compute is spent on them -- with ``TIMED_OUT``
+        failure results; the batch keeps filling from the queue.
+        """
+        self._absorb_shed()
+        requests: List[Request] = []
+        now = self.queue.clock()
+        while len(requests) < self.max_batch_size and len(self.queue):
+            request = self.queue.pop(1)[0]
+            if request.expired(now):
+                request.mark(RequestState.TIMED_OUT)
+                self.timed_out_requests += 1
+                self._record_failure(request, DeadlineExceeded(
+                    f"request {request.request_id} missed its deadline "
+                    "before batch formation"))
+                continue
+            requests.append(request)
+        if not requests:
+            return None
+        return self._form_batch(requests)
+
+    def _run_program(self, batch: ScheduledBatch, copy_outputs: bool,
+                     engine=None) -> np.ndarray:
         """Execute one batch's program through the session (and hence its
         execution engine); returns the packed output token matrix."""
         program = encoder_stack_program(
@@ -205,18 +392,80 @@ class BatchScheduler:
             batch.padded_inputs(self.config.hidden_size), axis=0)
         return self.session.run(program, {"tokens": packed},
                                 copy_outputs=copy_outputs,
-                                signature=batch.signature)["out_tokens"]
+                                signature=batch.signature,
+                                engine=engine)["out_tokens"]
 
-    @staticmethod
-    def _demux(batch: ScheduledBatch, out: np.ndarray) -> Dict[int, np.ndarray]:
-        """Split packed outputs back into per-request rows (padding
-        stripped).  Pure function of its arguments, so it can run on the
-        overlap worker while the next batch executes."""
-        rows = unpack_tokens(out, batch.padded_lengths)
-        return {
-            request.request_id: rows[slot][:request.length].copy()
-            for slot, request in enumerate(batch.requests)
-        }
+    def _run_opbyop(self, batch: ScheduledBatch) -> np.ndarray:
+        """The degraded execution path: op-by-op, one dispatch per
+        operator, no whole-program compilation.
+
+        Uses the session's codegen backend and executor so the per-kernel
+        caches are shared and the math stays bit-identical to the program
+        path (the executor's own scalar fallback covers per-kernel
+        vectorization failures, completing the degradation order:
+        program -> op-by-op compiled -> scalar fallback).
+        """
+        per_layer = _weights_per_layer(
+            self.weights, self.n_layers,
+            default_layers=self.config.num_layers)
+        hidden = batch.padded_inputs(self.config.hidden_size)
+        for layer_weights in per_layer:
+            hidden = run_encoder_layer_opbyop(
+                hidden, layer_weights, self.config, masked=self.masked,
+                backend=self.session.backend,
+                executor=self.session.executor).hidden
+        return np.concatenate(hidden, axis=0)
+
+    def _check_output(self, batch: ScheduledBatch, out: np.ndarray) -> None:
+        expected = (sum(batch.padded_lengths), self.config.hidden_size)
+        if tuple(out.shape) != expected:
+            raise ExecutionError(
+                f"batch output has shape {tuple(out.shape)}, expected "
+                f"{expected}; treating the batch as failed (corrupted "
+                "output)")
+
+    def _execute(self, batch: ScheduledBatch, copy_outputs: bool,
+                 engine=None) -> np.ndarray:
+        """One batch execution attempt, with graceful degradation.
+
+        Compile-path errors degrade to the op-by-op path
+        (``degraded_batches``); a pipelined-engine failure retries once
+        on a serial engine (``engine_fallbacks``).  Anything else (a
+        poison request, a corrupted output) propagates to the caller,
+        which isolates it via bisection.
+        """
+        injector = self._injector()
+        if injector is not None:
+            injector.set_ambient(request_ids=frozenset(batch.request_ids),
+                                 signature=batch.signature)
+        for request in batch.requests:
+            request.attempts += 1
+        try:
+            out = self._run_program(batch, copy_outputs, engine=engine)
+        except DEGRADABLE_ERRORS:
+            self.degraded_batches += 1
+            out = self._run_opbyop(batch)
+        except Exception:
+            if engine is None and isinstance(self.session.engine,
+                                             PipelinedEngine):
+                # A pipelined worker died mid-dispatch: the arena state
+                # is suspect but the compiled program is not -- retry the
+                # whole batch once on a serial engine before blaming a
+                # request.
+                if self._serial_fallback is None:
+                    self._serial_fallback = SerialEngine()
+                try:
+                    out = self._run_program(batch, copy_outputs,
+                                            engine=self._serial_fallback)
+                    self.engine_fallbacks += 1
+                except DEGRADABLE_ERRORS:
+                    self.engine_fallbacks += 1
+                    self.degraded_batches += 1
+                    out = self._run_opbyop(batch)
+            else:
+                raise
+        self._check_output(batch, out)
+        return out
 
     def _note_batch(self, batch: ScheduledBatch) -> None:
         self.num_batches += 1
@@ -231,20 +480,135 @@ class BatchScheduler:
         if self.log_batches:
             self.batch_log.append(batch)
 
-    def _next_batch(self) -> Optional[ScheduledBatch]:
-        """Pop and canonicalise the next batch; ``None`` when idle."""
-        requests = self.queue.pop(self.max_batch_size)
-        if not requests:
-            return None
-        return self._form_batch(requests)
+    @staticmethod
+    def _demux(batch: ScheduledBatch, out: np.ndarray) -> Dict[int, np.ndarray]:
+        """Split packed outputs back into per-request rows (padding
+        stripped).  Pure function of its arguments, so it can run on the
+        overlap worker while the next batch executes."""
+        rows = unpack_tokens(out, batch.padded_lengths)
+        return {
+            request.request_id: rows[slot][:request.length].copy()
+            for slot, request in enumerate(batch.requests)
+        }
 
-    def _dispatch_batch(self, batch: ScheduledBatch,
-                        copy_outputs: bool) -> np.ndarray:
-        """The one batch execution path both drain modes share: run the
-        program and record the throughput/signature accounting."""
-        out = self._run_program(batch, copy_outputs=copy_outputs)
+    def _finish(self, batch: ScheduledBatch,
+                out: np.ndarray) -> Dict[int, np.ndarray]:
+        """Demultiplex a batch's outputs and complete its requests.
+
+        Runs on the overlap worker when ``overlap_demux``; the demux
+        injection point fires here, before the output is trusted.
+        """
+        injector = self._injector()
+        if injector is not None:
+            out = injector.fire("demux", out,
+                                request_ids=frozenset(batch.request_ids))
+        self._check_output(batch, out)
+        results = self._demux(batch, out)
+        for request in batch.requests:
+            request.mark(RequestState.COMPLETED)
+        return results
+
+    def _recover_demux(self, batch: ScheduledBatch,
+                       out: np.ndarray) -> Dict[int, RequestResult]:
+        """Retry a failed demux once; a second failure fails the batch's
+        requests with structured results instead of raising."""
+        self.demux_recoveries += 1
+        try:
+            return self._finish(batch, out)
+        except Exception as exc:
+            # The batch executed but its outputs cannot be delivered:
+            # the batch-level completion accounting is rolled back and
+            # every request resolves to a structured failure.
+            self.num_completed -= len(batch.requests)
+            results: Dict[int, RequestResult] = {}
+            for request in batch.requests:
+                if not request.state.terminal:
+                    request.mark(RequestState.FAILED)
+                self.failed_requests += 1
+                results[request.request_id] = FailedResult.from_exception(
+                    request.request_id, request.state, exc,
+                    attempts=request.attempts)
+            return results
+
+    def _finish_with_recovery(self, batch: ScheduledBatch,
+                              out: np.ndarray) -> Dict[int, RequestResult]:
+        try:
+            return self._finish(batch, out)
+        except Exception:
+            return self._recover_demux(batch, out)
+
+    def _deliver(self, batch: ScheduledBatch,
+                 out: np.ndarray) -> Dict[int, np.ndarray]:
+        """Account, demux and complete a successfully executed batch
+        (the synchronous path used during isolation re-runs)."""
         self._note_batch(batch)
-        return out
+        results = self._demux(batch, out)
+        for request in batch.requests:
+            request.mark(RequestState.COMPLETED)
+        return results
+
+    # -- failure isolation ------------------------------------------------------
+
+    def _isolate(self, batch: ScheduledBatch,
+                 exc: BaseException) -> Dict[int, RequestResult]:
+        """Bisect a failed batch to quarantine the poison request(s).
+
+        The batch's requests are split in half and each half re-runs as
+        its own (re-canonicalised) batch; halves that succeed deliver
+        normally, halves that fail recurse.  A failing singleton spends
+        its retry budget (exponential backoff, deadline-checked) and then
+        resolves to a ``FAILED`` result carrying the original error --
+        one bad request can no longer sink its batchmates.
+        """
+        requests = list(batch.requests)
+        if len(requests) == 1:
+            return self._resolve_singleton(requests[0], batch, exc)
+        mid = len(requests) // 2
+        results: Dict[int, RequestResult] = {}
+        for half in (requests[:mid], requests[mid:]):
+            sub = self._form_batch(half)
+            self.isolation_runs += 1
+            try:
+                out = self._execute(sub, copy_outputs=False)
+            except Exception as sub_exc:
+                results.update(self._isolate(sub, sub_exc))
+            else:
+                results.update(self._deliver(sub, out))
+        return results
+
+    def _resolve_singleton(self, request: Request, batch: ScheduledBatch,
+                           exc: BaseException) -> Dict[int, RequestResult]:
+        """Retry an isolated failing request within its budget, then fail
+        it terminally."""
+        retries_done = 0
+        while retries_done < request.max_retries:
+            if request.expired(self.queue.clock()):
+                request.mark(RequestState.TIMED_OUT)
+                self.timed_out_requests += 1
+                return {request.request_id: FailedResult.from_exception(
+                    request.request_id, request.state,
+                    DeadlineExceeded(
+                        f"request {request.request_id} missed its deadline "
+                        f"during retries (last error: {exc})"),
+                    attempts=request.attempts)}
+            if self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * (2 ** retries_done))
+            retries_done += 1
+            self.retries += 1
+            self.isolation_runs += 1
+            try:
+                out = self._execute(batch, copy_outputs=False)
+            except Exception as retry_exc:
+                exc = retry_exc
+                continue
+            return self._deliver(batch, out)
+        request.mark(RequestState.FAILED)
+        self.failed_requests += 1
+        return {request.request_id: FailedResult.from_exception(
+            request.request_id, request.state, exc,
+            attempts=request.attempts)}
+
+    # -- worker-pool management -------------------------------------------------
 
     def _ensure_demux_pool(self):
         if self._demux_pool is None:
@@ -255,12 +619,13 @@ class BatchScheduler:
         return self._demux_pool
 
     def close(self) -> None:
-        """Shut down the overlap worker (idempotent; recreated lazily if
+        """Shut down the overlap worker (idempotent -- safe to call
+        repeatedly, including after a failed drain; recreated lazily if
         the scheduler is used again).  Does NOT close the session -- it
         may be shared; call ``session.close()`` separately."""
-        if self._demux_pool is not None:
-            self._demux_pool.shutdown(wait=True)
-            self._demux_pool = None
+        pool, self._demux_pool = self._demux_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "BatchScheduler":
         return self
@@ -268,62 +633,98 @@ class BatchScheduler:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def step(self) -> Dict[int, np.ndarray]:
+    # -- scheduling -------------------------------------------------------------
+
+    def _collect_failures(self) -> Dict[int, RequestResult]:
+        failures, self._failures = dict(self._failures), {}
+        return failures
+
+    def step(self) -> Dict[int, RequestResult]:
         """Schedule and run one batch; ``{}`` when nothing is pending.
 
-        Returns the per-request outputs, each a fresh ``(length,
-        hidden_size)`` array keyed by request id (padding rows are
-        stripped during demultiplexing).
+        Returns the per-request results: a fresh ``(length,
+        hidden_size)`` array per completed request (padding rows are
+        stripped during demultiplexing), a :class:`FailedResult` per
+        request that reached a non-``COMPLETED`` terminal state, plus
+        any failures shed at admission since the last step.
         """
+        results: Dict[int, RequestResult] = {}
         batch = self._next_batch()
+        results.update(self._collect_failures())
         if batch is None:
-            return {}
-        # Zero-copy demux: the packed output stays an arena view, valid
-        # until the session's next run -- which only happens after the
-        # per-request rows have been copied out by _demux.
-        out = self._dispatch_batch(batch, copy_outputs=False)
-        return self._demux(batch, out)
+            return results
+        try:
+            # Zero-copy demux: the packed output stays an arena view,
+            # valid until the session's next run -- which only happens
+            # after the per-request rows have been copied out by _demux.
+            out = self._execute(batch, copy_outputs=False)
+        except Exception as exc:
+            results.update(self._isolate(batch, exc))
+            return results
+        self._note_batch(batch)
+        results.update(self._finish_with_recovery(batch, out))
+        return results
 
-    def drain(self) -> Dict[int, np.ndarray]:
+    def drain(self) -> Dict[int, RequestResult]:
         """Run scheduling steps until the queue is empty; merged results.
 
         With ``overlap_demux=True`` the drain is pipelined: batch ``k``'s
         outputs are copied out of the arena and handed to a background
         worker for demultiplexing while the main thread executes batch
         ``k + 1``.  Results are identical to the synchronous drain.
+        Every submitted request appears exactly once in the returned
+        mapping, as output rows or as a :class:`FailedResult`.
         """
+        results: Dict[int, RequestResult] = {}
         if not self.overlap_demux:
-            results: Dict[int, np.ndarray] = {}
             while len(self.queue):
                 results.update(self.step())
+            results.update(self._collect_failures())
             return results
 
         pool = self._ensure_demux_pool()
-        futures = []
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                break
-            # copy_outputs=True: the demux worker must not read arena
-            # views the next batch's execution is about to overwrite.
-            out = self._dispatch_batch(batch, copy_outputs=True)
-            futures.append(pool.submit(self._demux, batch, out))
-            self.overlapped_batches += 1
-        results = {}
-        for future in futures:
-            results.update(future.result())
+        inflight: List[Tuple[Any, ScheduledBatch, np.ndarray]] = []
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    break
+                try:
+                    # copy_outputs=True: the demux worker must not read
+                    # arena views the next batch's execution is about to
+                    # overwrite.
+                    out = self._execute(batch, copy_outputs=True)
+                except Exception as exc:
+                    results.update(self._isolate(batch, exc))
+                    continue
+                self._note_batch(batch)
+                inflight.append(
+                    (pool.submit(self._finish, batch, out), batch, out))
+                self.overlapped_batches += 1
+        finally:
+            # Flush every outstanding future even if batch execution (or
+            # isolation) raised: a pending demux future must never leak,
+            # or the pool wedges and close() would block on it.
+            for future, batch, out in inflight:
+                try:
+                    results.update(future.result())
+                except Exception:
+                    results.update(self._recover_demux(batch, out))
+        results.update(self._collect_failures())
         return results
 
     # -- differential checking --------------------------------------------------
 
-    def replay_bit_identical(self, results: Dict[int, np.ndarray]) -> bool:
+    def replay_bit_identical(self, results: Dict[int, RequestResult]) -> bool:
         """Re-run every logged batch directly through ``Session.run`` and
         compare against the demultiplexed ``results`` bit for bit.
 
         The differential check the serving tests and the benchmark smoke
         mode share: the scheduler's per-request outputs must be exactly
         the rows a direct program execution of the same (padded) batch
-        produces.  Requires ``log_batches=True``.
+        produces.  Requires ``log_batches=True``.  Requests that resolved
+        to a :class:`FailedResult` are skipped (they have no rows to
+        compare).
         """
         if not self.log_batches:
             raise ValueError(
@@ -341,8 +742,10 @@ class BatchScheduler:
             )["out_tokens"]
             rows = unpack_tokens(out, batch.padded_lengths)
             for slot, request in enumerate(batch.requests):
-                if not np.array_equal(rows[slot][:request.length],
-                                      results[request.request_id]):
+                result = results.get(request.request_id)
+                if isinstance(result, FailedResult) or result is None:
+                    continue
+                if not np.array_equal(rows[slot][:request.length], result):
                     return False
         return True
 
@@ -366,6 +769,25 @@ class BatchScheduler:
                 self.padded_tokens / self.valid_tokens - 1.0
                 if self.valid_tokens else 0.0),
             "distinct_signatures": len(self._signatures_seen),
+            # fault-tolerance counters
+            "failed_requests": self.failed_requests,
+            "timed_out_requests": self.timed_out_requests,
+            "rejected_requests": self.rejected_requests,
+            "retries": self.retries,
+            "isolation_runs": self.isolation_runs,
+            "degraded_batches": self.degraded_batches,
+            "engine_fallbacks": self.engine_fallbacks,
+            "demux_recoveries": self.demux_recoveries,
+            "shed_rejected": self.queue.rejected,
+            "shed_expired": self.queue.expired_dropped,
             **{key: current[key] - self._baseline[key]
                for key in current},
         }
+
+
+def _queue_full_error(queue: RequestQueue):
+    from repro.core.errors import QueueFull
+
+    return QueueFull(
+        f"request queue at capacity ({queue.capacity}); shed policy "
+        f"{queue.shed_policy!r} rejected the newest request")
