@@ -1,0 +1,249 @@
+"""Wide execution: fused K-request programs across the three engines.
+
+PR 5's honest finding was that the encoder stack is a serial dependence
+chain (``max_inflight`` 1), so ``PipelinedEngine`` pays worker overhead
+and loses to ``SerialEngine`` on every real workload.  This benchmark
+measures the fix: ``merge_programs`` fuses K independent request groups
+into one wide program whose plan has genuine width, and the sweep runs
+the fused K in {1, 2, 4, 8} programs through ``SerialEngine``,
+``PipelinedEngine`` and ``ProcessPoolEngine``, recording requests/sec,
+p50 dispatch latency, achieved ``max_inflight``, and the fused-arena
+footprint against K separate arenas.
+
+Whether a pool engine *wins* wall-clock depends on the host: overlap
+needs cores.  The JSON records the host's CPU count and, when the pools
+lose (e.g. on a single-core container), the per-step overhead breakdown
+that explains it -- the honest-finding contract of the wide-execution
+issue.  Bit-identity does not depend on the host and is always asserted
+in ``--smoke``: every fused output must equal the per-request serial
+reference bit for bit, ``max_inflight >= min(K, workers)``, and
+arena(fused K) < K x arena(single).
+
+Writes ``benchmarks/results/bench_wide.{txt,json}`` and the trajectory
+artifact ``BENCH_wide.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.engine import PipelinedEngine, ProcessPoolEngine
+from repro.core.session import Session
+from repro.models.config import TransformerConfig
+from repro.models.transformer import (
+    EncoderWeights,
+    encoder_stack_program,
+    encoder_wide_program,
+)
+
+from harness import format_row, write_json_result, write_result
+
+_WIDTHS = [4, 10, 9, 12, 12, 9, 10, 7]
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _groups(k: int, per_group: int, config: TransformerConfig, seed: int,
+            low: int, high: int):
+    rng = np.random.default_rng(seed)
+    groups, inputs = [], []
+    for _ in range(k):
+        lengths = tuple(int(n) for n in
+                        rng.integers(low, high, size=per_group))
+        groups.append(lengths)
+        inputs.append(np.concatenate(
+            [rng.standard_normal((n, config.hidden_size)).astype(np.float32)
+             for n in lengths], axis=0))
+    return groups, inputs
+
+
+def _p50_ms(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - t0) * 1e3)
+    return float(np.median(times))
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    if smoke:
+        config = TransformerConfig(hidden_size=16, num_heads=2, head_size=8,
+                                   ff_size=32, num_layers=2, loop_pad=4,
+                                   bulk_pad=8, attention_tile=8)
+        ks, per_group, repeats, low, high = (1, 2, 4), 2, 5, 2, 9
+    else:
+        config = TransformerConfig(hidden_size=64, num_heads=4, head_size=16,
+                                   ff_size=128, num_layers=2, loop_pad=4,
+                                   bulk_pad=16, attention_tile=8)
+        ks, per_group, repeats, low, high = (1, 2, 4, 8), 3, 10, 8, 32
+    n_layers = 2
+    workers = max(ks)
+    weights = EncoderWeights.random(config, seed=2)
+
+    serial = Session(backend="vector", engine="serial")
+    pipelined_engine = PipelinedEngine(max_workers=workers)
+    pipelined = Session(backend="vector", engine=pipelined_engine)
+    process_engine = ProcessPoolEngine(max_workers=workers)
+    process = Session(backend="vector", engine=process_engine)
+    process_engine.warm_up()
+    sessions = (("serial", serial), ("pipelined", pipelined),
+                ("process", process))
+
+    rows = [format_row(["K", "engine", "p50 ms", "req/s", "steps",
+                        "us/step", "inflight", "bit-id"], _WIDTHS)]
+    payload = {
+        "host": {"cpus": os.cpu_count() or 1},
+        "config": {"hidden_size": config.hidden_size, "n_layers": n_layers,
+                   "per_group": per_group, "repeats": repeats,
+                   "workers": workers, "smoke": bool(smoke)},
+        "k_sweep": {},
+    }
+
+    for k in ks:
+        groups, inputs = _groups(k, per_group, config, seed=40 + k,
+                                 low=low, high=high)
+        # per-request serial reference: each group as its own program run
+        refs = []
+        for lengths, packed in zip(groups, inputs):
+            program = encoder_stack_program(lengths, weights, config,
+                                            masked=True, n_layers=n_layers,
+                                            session=serial)
+            refs.append(serial.run(program,
+                                   {"tokens": packed})["out_tokens"])
+
+        entry = {"groups": [list(g) for g in groups], "engines": {}}
+        plan_single = serial.compile(encoder_stack_program(
+            groups[0], weights, config, masked=True, n_layers=n_layers,
+            session=serial)).plan
+        requests = k * per_group
+
+        for engine_name, session in sessions:
+            session.engine.reset_stats()
+            wide = encoder_wide_program(groups, weights, config, masked=True,
+                                        n_layers=n_layers, session=session)
+            info = wide.merge_info
+            if info is not None:
+                bound = {info.input_name(i, "tokens"): packed
+                         for i, packed in enumerate(inputs)}
+                out_names = [info.output_name(i, "out_tokens")
+                             for i in range(k)]
+            else:  # K == 1: the wide program IS the stack program
+                bound = {"tokens": inputs[0]}
+                out_names = ["out_tokens"]
+
+            outs = session.run(wide, bound)  # warm: compile + install
+            bit_identical = all(np.array_equal(outs[name], ref)
+                                for name, ref in zip(out_names, refs))
+            p50 = _p50_ms(lambda: session.run(wide, bound,
+                                              copy_outputs=False), repeats)
+            plan = session.compile(wide).plan
+            stats = session.engine.stats()
+            engine_entry = {
+                "p50_dispatch_ms": p50,
+                "requests_per_s": requests / (p50 / 1e3),
+                "bit_identical": bool(bit_identical),
+                "steps": len(plan.order),
+                "us_per_step": p50 * 1e3 / len(plan.order),
+                "max_inflight": stats.get("max_inflight", 1),
+                "plan_max_width": plan.max_width,
+                "arena_bytes_fused": plan.arena_bytes,
+                "arena_bytes_k_singles": k * plan_single.arena_bytes,
+                "engine_stats": stats,
+            }
+            entry["engines"][engine_name] = engine_entry
+            rows.append(format_row(
+                [k, engine_name, p50, engine_entry["requests_per_s"],
+                 len(plan.order), engine_entry["us_per_step"],
+                 engine_entry["max_inflight"],
+                 "yes" if bit_identical else "NO"], _WIDTHS))
+        payload["k_sweep"][str(k)] = entry
+
+    # The honest finding: who wins at K >= 4, and if serial does, the
+    # per-step overhead breakdown that explains it.
+    verdicts = {}
+    for k in ks:
+        if k < 4:
+            continue
+        engines = payload["k_sweep"][str(k)]["engines"]
+        serial_ms = engines["serial"]["p50_dispatch_ms"]
+        verdicts[str(k)] = {
+            name: {
+                "p50_ms": e["p50_dispatch_ms"],
+                "speedup_vs_serial": serial_ms / e["p50_dispatch_ms"],
+                "beats_serial": e["p50_dispatch_ms"] < serial_ms,
+                "overhead_us_per_step_vs_serial": (
+                    e["us_per_step"] - engines["serial"]["us_per_step"]),
+                "max_inflight": e["max_inflight"],
+            }
+            for name, e in engines.items() if name != "serial"
+        }
+    any_win = any(v["beats_serial"] for per_k in verdicts.values()
+                  for v in per_k.values())
+    payload["finding"] = {
+        "pool_engine_beats_serial_at_k_ge_4": any_win,
+        "verdicts": verdicts,
+        "note": (
+            "pool engine wins at K >= 4" if any_win else
+            f"host has {payload['host']['cpus']} CPU core(s): overlap "
+            "cannot buy wall-clock without parallel hardware, so the "
+            "dispatch overhead per step (IPC + shared-memory copies for "
+            "the process pool, future scheduling for threads) is pure "
+            "loss; the achieved width (max_inflight) shows the fused "
+            "plan exposes the parallelism, the per-step overhead deltas "
+            "quantify its price"),
+    }
+
+    write_result("bench_wide", rows)
+    write_json_result("bench_wide", payload)
+    if not smoke:
+        # the committed trajectory artifact tracks the full sweep only;
+        # CI smoke runs must not clobber it with reduced-problem numbers
+        with open(os.path.join(_REPO_ROOT, "BENCH_wide.json"), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    for session in (process, pipelined, serial):
+        session.close()
+    process_engine.close()
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced problem + assert the wide-execution "
+                             "claims")
+    args = parser.parse_args(argv)
+    payload = run_benchmark(smoke=args.smoke)
+    if args.smoke:
+        workers = payload["config"]["workers"]
+        for k_str, entry in payload["k_sweep"].items():
+            k = int(k_str)
+            for name, e in entry["engines"].items():
+                assert e["bit_identical"], (
+                    f"K={k} {name}: fused output != per-request serial "
+                    "reference")
+            process_stats = entry["engines"]["process"]
+            assert process_stats["max_inflight"] >= min(k, workers), (
+                f"K={k}: process max_inflight "
+                f"{process_stats['max_inflight']} < {min(k, workers)}")
+            if k > 1:
+                fused = process_stats["arena_bytes_fused"]
+                singles = process_stats["arena_bytes_k_singles"]
+                assert fused < singles, (
+                    f"K={k}: fused arena {fused} not below K x single "
+                    f"{singles}")
+        print("smoke checks passed: fused outputs bit-identical on all "
+              "engines, process max_inflight >= min(K, workers), "
+              "arena(fused K) < K x arena(single)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,11 +74,29 @@ from repro.core.operator import RaggedOperator, compute, input_tensor, placehold
 from repro.core.schedule import Schedule
 from repro.core.codegen import CodegenBackend, ScalarBackend, get_backend
 from repro.core.codegen_vector import VectorBackend
-from repro.core.engine import ExecutionEngine, PipelinedEngine, SerialEngine
+from repro.core.engine import (
+    ExecutionEngine,
+    PipelinedEngine,
+    ProcessPoolEngine,
+    SerialEngine,
+)
 from repro.core.executor import Executor
-from repro.core.planner import ProgramPlan, plan_program
-from repro.core.program import Program, ProgramError
-from repro.core.session import CompiledProgram, Session, default_session
+from repro.core.planner import ProgramPlan, ShardSpec, plan_program, plan_shards
+from repro.core.program import (
+    MergeInfo,
+    Program,
+    ProgramError,
+    build_from_recipe,
+    merge_programs,
+    register_program_builder,
+)
+from repro.core.session import (
+    CompiledProgram,
+    Session,
+    ShardedProgram,
+    default_session,
+    shard_program,
+)
 from repro.serving import (
     BatchScheduler,
     FailedResult,
@@ -110,10 +128,19 @@ __all__ = [
     "ExecutionEngine",
     "SerialEngine",
     "PipelinedEngine",
+    "ProcessPoolEngine",
     "Program",
     "ProgramError",
     "ProgramPlan",
+    "MergeInfo",
+    "merge_programs",
+    "register_program_builder",
+    "build_from_recipe",
     "plan_program",
+    "plan_shards",
+    "ShardSpec",
+    "ShardedProgram",
+    "shard_program",
     "Session",
     "CompiledProgram",
     "default_session",

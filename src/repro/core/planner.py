@@ -39,8 +39,9 @@ numbers the memory model and the engine benchmark report.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -117,6 +118,36 @@ class ProgramPlan:
         return int(live.max()) * self.itemsize
 
     @property
+    def max_width(self) -> int:
+        """Maximum number of steps on any dependence level.
+
+        Levelize the step graph over ``step_preds`` (a step's level is one
+        past its deepest predecessor's) and report the widest level: 1 for
+        a pure chain, > 1 when independent steps could overlap.  This is
+        the cheap static bound the :class:`~repro.core.engine.
+        PipelinedEngine` uses to shortcut chain-shaped programs to serial
+        dispatch, and what fused programs must raise above 1 for width to
+        pay.
+        """
+        cached = getattr(self, "_max_width_cache", None)
+        if cached is not None:
+            return cached
+        n = len(self.step_preds)
+        if n == 0:
+            width = 0
+        else:
+            level = [0] * n
+            counts: Dict[int, int] = {}
+            for step in range(n):
+                preds = self.step_preds[step]
+                lv = 1 + max((level[p] for p in preds), default=-1)
+                level[step] = lv
+                counts[lv] = counts.get(lv, 0) + 1
+            width = max(counts.values())
+        self._max_width_cache = width
+        return width
+
+    @property
     def num_slabs(self) -> int:
         return len(self.slab_elements)
 
@@ -159,7 +190,17 @@ class ProgramPlan:
 
 
 def topological_order(program: Program) -> List[int]:
-    """Kahn's algorithm over the node graph, stable in insertion order."""
+    """Kahn's algorithm over the node graph, stable in insertion order.
+
+    The ready set is a min-index heap, so among runnable nodes the one
+    inserted earliest always goes first.  For any program built through
+    the ``Program`` API (which requires producers before consumers) this
+    makes the planned order *exactly* the insertion order -- which is what
+    lets :func:`~repro.core.program.merge_programs` shape arena liveness
+    by staggering its node emission: a FIFO ready list would flatten the
+    interleave into BFS level order and run every fused part in lockstep,
+    inflating the fused arena to K x a single part's.
+    """
     n = len(program.nodes)
     preds: List[set] = [set() for _ in range(n)]
     succs: List[set] = [set() for _ in range(n)]
@@ -170,14 +211,15 @@ def topological_order(program: Program) -> List[int]:
                 preds[idx].add(producer)
                 succs[producer].add(idx)
     ready = [i for i in range(n) if not preds[i]]
+    heapq.heapify(ready)
     order: List[int] = []
     while ready:
-        i = ready.pop(0)
+        i = heapq.heappop(ready)
         order.append(i)
         for j in sorted(succs[i]):
             preds[j].discard(i)
             if not preds[j]:
-                ready.append(j)
+                heapq.heappush(ready, j)
     if len(order) != n:
         cyclic = [program.nodes[i].name for i in range(n) if preds[i]]
         raise ProgramError(f"program graph has a cycle through {cyclic}")
@@ -297,9 +339,16 @@ def _pack_slabs(
     producing node is declared element-wise and ``inplace`` reassigns
     the dying input's slab to the output directly.
 
+    Values in ``program.merge_roots`` (the first node's outputs of each
+    fused part, see :func:`~repro.core.program.merge_programs`) always get
+    a brand-new slab: reusing a freed slab would add a write-after-read
+    edge onto the part's entry step, knocking it out of ``ready_steps``
+    and silently serializing the fused width the merge exists to create.
+
     Returns ``(slab_elements, slab_of, inplace_of)``.
     """
     outputs = set(program.outputs)
+    fresh_roots = getattr(program, "merge_roots", frozenset())
     slab_elements: List[int] = []
     slab_of: Dict[str, int] = {}
     inplace_of: Dict[str, str] = {}
@@ -340,6 +389,11 @@ def _pack_slabs(
     for step in range(len(order)):
         for name in births.get(step, ()):
             need = value_elements[name]
+            if name in fresh_roots:
+                slab_of[name] = len(slab_elements)
+                slab_elements.append(need)
+                occupant[slab_of[name]] = name
+                continue
             source = _inplace_source(name, step) if inplace else None
             if source is not None:
                 slab = slab_of[source]
@@ -439,3 +493,89 @@ def plan_program(program: Program, itemsize: int = 4,
         step_succs=step_succs,
         ready_steps=ready_steps,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batch-dimension sharding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One contiguous slice of a ragged batch's governing dimension.
+
+    Sequences ``[seq_start, seq_stop)`` of the original batch, occupying
+    packed token rows ``[token_start, token_stop)`` of any dense
+    ``(total_tokens, width)`` staging array.  ``lengths`` is the shard's
+    own length vector -- the raggedness signature its sub-program is
+    built (and its arena planned) for.
+    """
+
+    index: int
+    seq_start: int
+    seq_stop: int
+    token_start: int
+    token_stop: int
+    lengths: Tuple[int, ...]
+
+    @property
+    def num_sequences(self) -> int:
+        return self.seq_stop - self.seq_start
+
+    @property
+    def num_tokens(self) -> int:
+        return self.token_stop - self.token_start
+
+    def token_range(self) -> Tuple[int, int]:
+        return (self.token_start, self.token_stop)
+
+
+def plan_shards(lengths: Sequence[int], n_shards: int) -> List[ShardSpec]:
+    """Cut a ragged batch into contiguous, token-balanced shards.
+
+    Shards never split a sequence (the governing dimension is the batch
+    axis, and every per-sequence computation stays intact), so per-shard
+    execution of a batch-parallel program is *structurally* identical to
+    running the shard's sequences alone -- the foundation of the
+    bit-identity guarantee ``Session.run_sharded`` inherits.  Boundaries
+    greedily balance token counts: each cut is placed where the running
+    token total first reaches the next multiple of ``total / n_shards``.
+    ``n_shards`` is capped at ``len(lengths)`` (a shard needs at least
+    one sequence); empty batches are rejected.
+    """
+    lengths = [int(x) for x in lengths]
+    if not lengths:
+        raise ProgramError("cannot shard an empty batch")
+    if any(x <= 0 for x in lengths):
+        raise ProgramError(f"sequence lengths must be positive: {lengths}")
+    n_shards = int(n_shards)
+    if n_shards < 1:
+        raise ProgramError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, len(lengths))
+
+    total = sum(lengths)
+    shards: List[ShardSpec] = []
+    seq_start = 0
+    token_start = 0
+    running = 0
+    for i, length in enumerate(lengths):
+        running += length
+        remaining_seqs = len(lengths) - (i + 1)
+        remaining_shards = n_shards - (len(shards) + 1)
+        target = total * (len(shards) + 1) / n_shards
+        # Cut once the running total reaches this shard's token target --
+        # but never leave fewer sequences than shards still to form.
+        if ((running >= target or remaining_seqs == remaining_shards)
+                and remaining_shards >= 0 and len(shards) < n_shards - 1
+                and remaining_seqs >= remaining_shards):
+            shards.append(ShardSpec(
+                index=len(shards), seq_start=seq_start, seq_stop=i + 1,
+                token_start=token_start, token_stop=running,
+                lengths=tuple(lengths[seq_start:i + 1])))
+            seq_start = i + 1
+            token_start = running
+    shards.append(ShardSpec(
+        index=len(shards), seq_start=seq_start, seq_stop=len(lengths),
+        token_start=token_start, token_stop=total,
+        lengths=tuple(lengths[seq_start:])))
+    return shards

@@ -25,6 +25,7 @@ deterministically, which tests and long-running processes rely on.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -38,7 +39,7 @@ from repro.core.engine import (
     get_engine,
 )
 from repro.core.executor import CompiledKernel, Executor, shared_executor
-from repro.core.planner import ProgramPlan, plan_program
+from repro.core.planner import ProgramPlan, ShardSpec, plan_program, plan_shards
 from repro.core.prelude import PreludeCache
 from repro.core.program import (
     HostNode,
@@ -48,6 +49,7 @@ from repro.core.program import (
     ROLE_CONSTANT,
     ROLE_INPUT,
     ROLE_INTERMEDIATE,
+    merge_programs,
 )
 from repro.core.ragged_tensor import RaggedTensor
 
@@ -73,7 +75,9 @@ class CompiledProgram:
     """
 
     def __init__(self, program: Program, executor: Executor,
-                 inplace: bool = False):
+                 inplace: bool = False,
+                 slab_buffers: Optional[Sequence[np.ndarray]] = None,
+                 input_buffers: Optional[Dict[str, np.ndarray]] = None):
         program.validate()
         self.program = program
         self.executor = executor
@@ -107,17 +111,48 @@ class CompiledProgram:
         self.plan: ProgramPlan = plan_program(program, inplace=inplace)
 
         # 3. Allocate the arena slabs and the persistent input staging
-        #    buffers once; every later run reuses them.
-        self._slabs: List[np.ndarray] = [
-            np.zeros(n, dtype=np.float32) for n in self.plan.slab_elements
-        ]
+        #    buffers once; every later run reuses them.  ``slab_buffers``
+        #    / ``input_buffers`` optionally supply caller-owned flat
+        #    arrays instead (the process-pool engine backs them with
+        #    shared memory so workers dispatch into the parent's arena).
+        if slab_buffers is None:
+            self._slabs: List[np.ndarray] = [
+                np.zeros(n, dtype=np.float32)
+                for n in self.plan.slab_elements
+            ]
+        else:
+            slab_buffers = list(slab_buffers)
+            if len(slab_buffers) < len(self.plan.slab_elements):
+                raise ProgramError(
+                    f"plan needs {len(self.plan.slab_elements)} slabs but "
+                    f"only {len(slab_buffers)} buffers were provided")
+            self._slabs = []
+            for i, n in enumerate(self.plan.slab_elements):
+                buf = slab_buffers[i]
+                if buf.dtype != np.float32 or buf.ndim != 1 or buf.size < n:
+                    raise ProgramError(
+                        f"slab buffer {i} must be a flat float32 array of "
+                        f">= {n} elements, got {buf.dtype} {buf.shape}")
+                self._slabs.append(buf[:n])
         flat: Dict[str, np.ndarray] = {}
         for name, spec in program.values.items():
             if spec.role == ROLE_CONSTANT:
                 flat[name] = np.ascontiguousarray(
                     spec.array, dtype=spec.dtype).reshape(-1)
             elif spec.role == ROLE_INPUT:
-                flat[name] = np.zeros(spec.num_elements, dtype=spec.dtype)
+                stage = (input_buffers.get(name)
+                         if input_buffers is not None else None)
+                if stage is None:
+                    stage = np.zeros(spec.num_elements, dtype=spec.dtype)
+                else:
+                    if (stage.size != spec.num_elements
+                            or stage.dtype != np.dtype(spec.dtype)):
+                        raise ProgramError(
+                            f"input buffer {name!r} must be "
+                            f"{spec.num_elements} x {spec.dtype}, got "
+                            f"{stage.size} x {stage.dtype}")
+                    stage = stage.reshape(-1)
+                flat[name] = stage
             else:
                 if np.dtype(spec.dtype) != np.float32:
                     raise ProgramError(
@@ -231,7 +266,8 @@ class CompiledProgram:
                     f"expects {stage.size}")
             np.copyto(stage, src)
 
-        (engine or _FALLBACK_ENGINE).execute(self._steps, self.plan)
+        (engine or _FALLBACK_ENGINE).execute(self._steps, self.plan,
+                                             context=self)
 
         result: Dict[str, Any] = {}
         for name in self.program.outputs:
@@ -247,6 +283,82 @@ class CompiledProgram:
         self.total_run_s += self.last_run_s
         self.run_count += 1
         return result
+
+
+@dataclass
+class ShardedProgram:
+    """A ragged batch cut into shards, with one program per shard.
+
+    Produced by :func:`shard_program`.  ``programs[i]`` is built for
+    ``shards[i].lengths``; with ``fused`` set, all shard programs are
+    additionally merged into one wide program (disjoint subgraphs sharing
+    weights) so a width-aware engine can run the shards concurrently
+    inside a single dispatch.  Execute through
+    :meth:`Session.run_sharded`, which slices the batch's inputs per
+    shard and reassembles outputs in order.
+    """
+
+    shards: List[ShardSpec]
+    programs: List[Program]
+    fused: Optional[Program] = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.shards[-1].token_stop
+
+    @property
+    def num_sequences(self) -> int:
+        return self.shards[-1].seq_stop
+
+
+def shard_program(build: Callable[[Tuple[int, ...]], Program],
+                  lengths: Sequence[int], n_shards: int, *,
+                  fused: bool = False, share: str = "constants",
+                  stagger: Optional[int] = None,
+                  build_fused: Optional[
+                      Callable[[List[Tuple[int, ...]]], Program]] = None,
+                  ) -> ShardedProgram:
+    """Shard a batch-parallel program along its governing (batch) dim.
+
+    ``build(lengths_tuple)`` must return the program for one raggedness
+    signature (e.g. ``lambda ls: encoder_stack_program(ls, w, cfg)``); it
+    is called once per shard with that shard's contiguous slice of
+    ``lengths``.  Because shards never split a sequence and the model's
+    computation is independent per sequence, each shard program computes
+    exactly what a per-request run computes -- per-shard execution (and
+    fused execution, which runs the very same node functions on the very
+    same per-shard arrays) is bit-identical to the unsharded baseline at
+    sequence granularity.
+
+    With ``fused=True`` the shard programs are merged via
+    :func:`~repro.core.program.merge_programs` (weights shared across
+    shards by array identity) so ``ready_steps`` carries one entry per
+    shard and a pipelined / process-pool engine can overlap them.  Note
+    the merged program only carries a worker-shippable rebuild recipe
+    when the shards share *no* constants (rebuilding separately pickled
+    parts would break cross-shard array identity and diverge from the
+    parent's plan); to run fused shards on a
+    :class:`~repro.core.engine.ProcessPoolEngine`, pass ``build_fused``
+    -- a model-provided wide builder called with all shard length
+    vectors at once (e.g.
+    ``lambda groups: build_encoder_wide_program(groups, w, cfg)``) whose
+    registered rebuild recipe re-shares the weights on the worker side.
+    """
+    shards = plan_shards(lengths, n_shards)
+    programs = [build(s.lengths) for s in shards]
+    merged = None
+    if build_fused is not None:
+        merged = build_fused([s.lengths for s in shards])
+    elif fused:
+        if len(programs) == 1:
+            merged = programs[0]
+        else:
+            merged = merge_programs(programs, share=share, stagger=stagger)
+    return ShardedProgram(shards=shards, programs=programs, fused=merged)
 
 
 class Session:
@@ -433,6 +545,96 @@ class Session:
                               else False)
         return result
 
+    def run_sharded(self, sharded: ShardedProgram,
+                    inputs: Dict[str, Union[np.ndarray, RaggedTensor]],
+                    signature: Optional[Any] = None,
+                    engine: Optional[ExecutionEngine] = None
+                    ) -> Dict[str, np.ndarray]:
+        """Execute a :class:`ShardedProgram` and reassemble its outputs.
+
+        Dense inputs are sliced per shard along their leading dimension:
+        an array whose first axis is the batch's total token count is cut
+        at the shard's token range, one whose first axis is the sequence
+        count at the shard's sequence range.  Outputs (dense, leading
+        token/sequence axis) are concatenated back in shard order --
+        bit-identical reassembly, since shards never split a sequence and
+        each shard program runs the same node functions on the same
+        per-shard arrays as an unsharded run of just those sequences.
+
+        Fused sharded programs execute as *one* dispatch of the merged
+        wide program (each shard a disjoint subgraph), which is where a
+        width-aware engine overlaps the shards; unfused ones run the
+        shard programs back to back.
+        """
+        shards = sharded.shards
+        total_tokens = sharded.total_tokens
+        total_seqs = sharded.num_sequences
+
+        def _slice(name: str, shard: ShardSpec) -> np.ndarray:
+            try:
+                value = inputs[name]
+            except KeyError:
+                raise ProgramError(
+                    f"missing program input {name!r}") from None
+            if isinstance(value, RaggedTensor):
+                raise ProgramError(
+                    f"run_sharded slices dense inputs only; input {name!r} "
+                    "is a RaggedTensor (pack it first)")
+            arr = np.asarray(value)
+            if arr.ndim >= 1 and arr.shape[0] == total_tokens:
+                return arr[shard.token_start:shard.token_stop]
+            if arr.ndim >= 1 and arr.shape[0] == total_seqs:
+                return arr[shard.seq_start:shard.seq_stop]
+            raise ProgramError(
+                f"cannot shard input {name!r}: leading dim of shape "
+                f"{arr.shape} matches neither total tokens "
+                f"({total_tokens}) nor the sequence count ({total_seqs})")
+
+        def _dense(oname: str, value: Any) -> np.ndarray:
+            if isinstance(value, RaggedTensor):
+                raise ProgramError(
+                    f"run_sharded only reassembles dense outputs; "
+                    f"output {oname!r} is ragged")
+            return np.asarray(value)
+
+        if sharded.fused is not None:
+            info = sharded.fused.merge_info
+            if info is None:
+                # Single shard: the "fused" program is the shard program.
+                bound = {spec.name: _slice(spec.name, shards[0])
+                         for spec in sharded.fused.input_values()}
+                out = self.run(sharded.fused, bound, signature=signature,
+                               engine=engine)
+                return {k: _dense(k, v) for k, v in out.items()}
+            bound = {}
+            for i, shard in enumerate(shards):
+                for spec in sharded.programs[i].input_values():
+                    bound[info.input_name(i, spec.name)] = _slice(
+                        spec.name, shard)
+            merged_out = self.run(sharded.fused, bound, copy_outputs=False,
+                                  signature=signature, engine=engine)
+            result: Dict[str, np.ndarray] = {}
+            for oname in sharded.programs[0].outputs:
+                parts = [_dense(oname,
+                                merged_out[info.output_name(i, oname)])
+                         for i in range(len(shards))]
+                result[oname] = np.concatenate(parts, axis=0)
+            return result
+
+        pieces: Dict[str, List[np.ndarray]] = {}
+        for i, shard in enumerate(shards):
+            program = sharded.programs[i]
+            bound = {spec.name: _slice(spec.name, shard)
+                     for spec in program.input_values()}
+            # Copies are required: shards with equal length vectors share
+            # one compiled program, whose arena the next shard overwrites.
+            out = self.run(program, bound, copy_outputs=True,
+                           engine=engine)
+            for oname, value in out.items():
+                pieces.setdefault(oname, []).append(_dense(oname, value))
+        return {oname: np.concatenate(vals, axis=0)
+                for oname, vals in pieces.items()}
+
     # -- memoization ------------------------------------------------------------
 
     def memoize(self, key: Tuple, factory: Callable[[], Any]) -> Any:
@@ -486,15 +688,20 @@ class Session:
     def close(self) -> None:
         """Release the engine's worker resources (idempotent).
 
-        A pipelined engine keeps a thread pool alive across runs; call
-        this (or use the session as a context manager) when the session
-        is done, so repeatedly constructed sessions do not accumulate
-        idle worker threads for the process lifetime.  The session
+        A pipelined engine keeps a thread pool alive across runs, and a
+        process-pool engine worker processes plus shared-memory arenas;
+        call this (or use the session as a context manager) when the
+        session is done, so repeatedly constructed sessions do not
+        accumulate idle workers for the process lifetime.  The session
         remains usable afterwards -- the engine recreates its pool
-        lazily on the next run.  An engine passed in as an instance is
-        left alone (it may be serving other sessions' in-flight runs);
-        close it explicitly via ``engine.close()`` when *you* are done
-        with it.
+        lazily on the next run.  **Ownership rule**: an engine passed in
+        as an *instance* is left alone -- it may be shared across
+        sessions, serving other sessions' in-flight runs -- and closing
+        the session any number of times never touches it; close a shared
+        engine explicitly via ``engine.close()`` when the *owner* is
+        done with it (that call too is idempotent and reuse-safe).  Only
+        engines the session constructed itself (from a name or ``None``)
+        are shut down here.
         """
         if self._owns_engine:
             self.engine.close()

@@ -49,7 +49,8 @@ import numpy as np
 from repro.core.errors import ExecutionError
 
 #: The named injection points threaded through the stack.
-INJECTION_POINTS = ("compile", "run", "pipelined_worker", "demux")
+INJECTION_POINTS = ("compile", "run", "pipelined_worker", "process_worker",
+                    "demux")
 
 #: What a firing fault does to the call it interrupts.
 FAULT_ACTIONS = ("raise", "delay", "corrupt")

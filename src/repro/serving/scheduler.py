@@ -18,6 +18,19 @@ pipelines *across* batches: the demultiplexing of batch ``k``'s outputs
 into per-request rows runs on a background worker while the main thread
 already executes batch ``k + 1``.
 
+With ``wide_batches=K > 1`` the scheduler additionally dispatches
+*wide*: each scheduling step pops up to ``K`` signature-canonical
+sub-batches and fuses them into one
+:func:`~repro.core.program.merge_programs`-merged program whose ``K``
+disjoint subgraphs share the weight constants, so a width-capable
+engine (:class:`~repro.core.engine.PipelinedEngine`,
+:class:`~repro.core.engine.ProcessPoolEngine`) sees genuine inter-batch
+parallelism in ``ready_steps`` instead of one serial chain.  Outputs
+demultiplex per sub-batch (``R{i}.out_tokens``) and then per request,
+exactly as narrow dispatch does; a wide execution failure falls back to
+the per-batch recovery ladder below (``wide_fallbacks`` counts these),
+so fault semantics are unchanged.
+
 Bucketing trades compute for reuse exactly like the paper's partial
 padding: a tolerance ``t`` pads each sequence with at most ``t - 1``
 zero tokens, collapsing nearby lengths onto one signature.  Padding is
@@ -72,7 +85,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, \
 
 import numpy as np
 
-from repro.core.engine import PipelinedEngine, SerialEngine
+from repro.core.engine import PipelinedEngine, ProcessPoolEngine, SerialEngine
 from repro.core.errors import (
     CompileError,
     DeadlineExceeded,
@@ -84,6 +97,7 @@ from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
 from repro.models.transformer import (
     _weights_per_layer,
     encoder_stack_program,
+    encoder_wide_program,
     run_encoder_layer_opbyop,
 )
 from repro.ops.projection import unpack_tokens
@@ -175,6 +189,13 @@ class BatchScheduler:
         executes.  ``step`` stays synchronous either way.  Off by
         default; bit-identical when on (the demux math is unchanged,
         only *when* it runs moves).
+    wide_batches:
+        Fuse up to this many sub-batches into one merged wide program
+        per dispatch (``1``, the default, keeps the narrow per-batch
+        dispatch path byte for byte).  Values above 1 only pay off on a
+        width-capable engine; outputs stay bit-identical to narrow
+        dispatch either way, and any wide failure falls back to
+        per-batch execution with the full recovery ladder.
     queue_capacity:
         Bound on pending requests; ``None`` (default) is unbounded.
     shed_policy:
@@ -201,6 +222,7 @@ class BatchScheduler:
                  n_layers: Optional[int] = None, max_batch_size: int = 8,
                  bucket_tolerance: int = 1, sort_by_length: bool = True,
                  log_batches: bool = False, overlap_demux: bool = False,
+                 wide_batches: int = 1,
                  queue_capacity: Optional[int] = None,
                  shed_policy: str = "reject_newest",
                  default_deadline_s: Optional[float] = None,
@@ -224,6 +246,9 @@ class BatchScheduler:
         if retry_backoff_s < 0:
             raise ValueError(
                 f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        if wide_batches <= 0:
+            raise ValueError(
+                f"wide_batches must be positive, got {wide_batches}")
         self.weights = weights
         self.config = config
         self.session = session or default_session()
@@ -234,6 +259,7 @@ class BatchScheduler:
         self.sort_by_length = bool(sort_by_length)
         self.log_batches = bool(log_batches)
         self.overlap_demux = bool(overlap_demux)
+        self.wide_batches = int(wide_batches)
         self.default_deadline_s = default_deadline_s
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
@@ -263,6 +289,10 @@ class BatchScheduler:
         self.degraded_batches = 0
         self.engine_fallbacks = 0
         self.demux_recoveries = 0
+        #: wide-dispatch counters (see ``stats``)
+        self.wide_dispatches = 0
+        self.wide_fallbacks = 0
+        self.max_width_achieved = 0
         #: session counters at construction time -- ``stats`` reports
         #: deltas against these, so other users of a shared session
         #: (another scheduler, direct ``Session.run`` calls made before
@@ -381,6 +411,18 @@ class BatchScheduler:
             return None
         return self._form_batch(requests)
 
+    def _next_batches(self) -> List[ScheduledBatch]:
+        """Pop up to ``wide_batches`` canonical sub-batches for one
+        dispatch; ``[]`` when idle.  With ``wide_batches=1`` this is just
+        ``_next_batch`` in a list."""
+        batches: List[ScheduledBatch] = []
+        while len(batches) < self.wide_batches:
+            batch = self._next_batch()
+            if batch is None:
+                break
+            batches.append(batch)
+        return batches
+
     def _run_program(self, batch: ScheduledBatch, copy_outputs: bool,
                      engine=None) -> np.ndarray:
         """Execute one batch's program through the session (and hence its
@@ -446,12 +488,13 @@ class BatchScheduler:
             self.degraded_batches += 1
             out = self._run_opbyop(batch)
         except Exception:
-            if engine is None and isinstance(self.session.engine,
-                                             PipelinedEngine):
-                # A pipelined worker died mid-dispatch: the arena state
-                # is suspect but the compiled program is not -- retry the
-                # whole batch once on a serial engine before blaming a
-                # request.
+            if engine is None and isinstance(
+                    self.session.engine,
+                    (PipelinedEngine, ProcessPoolEngine)):
+                # A pipelined or process-pool worker died mid-dispatch:
+                # the arena state is suspect but the compiled program is
+                # not -- retry the whole batch once on a serial engine
+                # before blaming a request.
                 if self._serial_fallback is None:
                     self._serial_fallback = SerialEngine()
                 try:
@@ -466,6 +509,61 @@ class BatchScheduler:
                 raise
         self._check_output(batch, out)
         return out
+
+    def _execute_wide(self, group: Sequence[ScheduledBatch],
+                      copy_outputs: bool) -> List[np.ndarray]:
+        """Run ``K >= 2`` sub-batches as one fused wide program.
+
+        The group's padded-length vectors select (and memoize, on the
+        session) one :func:`encoder_wide_program`; sub-batch ``i`` binds
+        ``R{i}.tokens`` and reads back ``R{i}.out_tokens``, so one
+        ``Session.run`` serves every sub-batch and a width-capable
+        engine executes them concurrently.  Any failure propagates to
+        the caller, which falls back to per-batch narrow dispatch --
+        the wide path adds no recovery machinery of its own.
+        """
+        injector = self._injector()
+        if injector is not None:
+            injector.set_ambient(
+                request_ids=frozenset(
+                    rid for batch in group for rid in batch.request_ids),
+                signature=tuple(batch.signature for batch in group))
+        for batch in group:
+            for request in batch.requests:
+                request.attempts += 1
+        program = encoder_wide_program(
+            [batch.padded_lengths for batch in group], self.weights,
+            self.config, masked=self.masked, n_layers=self.n_layers,
+            session=self.session)
+        info = program.merge_info
+        bound = {
+            info.input_name(i, "tokens"): np.concatenate(
+                batch.padded_inputs(self.config.hidden_size), axis=0)
+            for i, batch in enumerate(group)
+        }
+        outs = self.session.run(
+            program, bound, copy_outputs=copy_outputs,
+            signature=tuple(batch.signature for batch in group))
+        packed = [outs[info.output_name(i, "out_tokens")]
+                  for i in range(len(group))]
+        for batch, out in zip(group, packed):
+            self._check_output(batch, out)
+        return packed
+
+    def _dispatch_wide(self, group: Sequence[ScheduledBatch],
+                       copy_outputs: bool) -> Optional[List[np.ndarray]]:
+        """Attempt one fused wide dispatch; ``None`` means fall back to
+        per-batch narrow dispatch (``wide_fallbacks`` counted)."""
+        if len(group) < 2:
+            return None
+        try:
+            packed = self._execute_wide(group, copy_outputs)
+        except Exception:
+            self.wide_fallbacks += 1
+            return None
+        self.wide_dispatches += 1
+        self.max_width_achieved = max(self.max_width_achieved, len(group))
+        return packed
 
     def _note_batch(self, batch: ScheduledBatch) -> None:
         self.num_batches += 1
@@ -649,20 +747,31 @@ class BatchScheduler:
         any failures shed at admission since the last step.
         """
         results: Dict[int, RequestResult] = {}
-        batch = self._next_batch()
+        group = self._next_batches()
         results.update(self._collect_failures())
-        if batch is None:
+        if not group:
             return results
-        try:
-            # Zero-copy demux: the packed output stays an arena view,
-            # valid until the session's next run -- which only happens
-            # after the per-request rows have been copied out by _demux.
-            out = self._execute(batch, copy_outputs=False)
-        except Exception as exc:
-            results.update(self._isolate(batch, exc))
+        packed = self._dispatch_wide(group, copy_outputs=False)
+        if packed is not None:
+            # All sub-batch outputs are views into the one fused run's
+            # arena, valid until the session's next run -- demuxing them
+            # in sequence is safe.
+            for batch, out in zip(group, packed):
+                self._note_batch(batch)
+                results.update(self._finish_with_recovery(batch, out))
             return results
-        self._note_batch(batch)
-        results.update(self._finish_with_recovery(batch, out))
+        for batch in group:
+            try:
+                # Zero-copy demux: the packed output stays an arena view,
+                # valid until the session's next run -- which only happens
+                # after the per-request rows have been copied out by
+                # _demux.
+                out = self._execute(batch, copy_outputs=False)
+            except Exception as exc:
+                results.update(self._isolate(batch, exc))
+                continue
+            self._note_batch(batch)
+            results.update(self._finish_with_recovery(batch, out))
         return results
 
     def drain(self) -> Dict[int, RequestResult]:
@@ -684,23 +793,33 @@ class BatchScheduler:
 
         pool = self._ensure_demux_pool()
         inflight: List[Tuple[Any, ScheduledBatch, np.ndarray]] = []
+
+        def _overlap(batch: ScheduledBatch, out: np.ndarray) -> None:
+            self._note_batch(batch)
+            inflight.append(
+                (pool.submit(self._finish, batch, out), batch, out))
+            self.overlapped_batches += 1
+
         try:
             while True:
-                batch = self._next_batch()
-                if batch is None:
+                group = self._next_batches()
+                if not group:
                     break
-                try:
-                    # copy_outputs=True: the demux worker must not read
-                    # arena views the next batch's execution is about to
-                    # overwrite.
-                    out = self._execute(batch, copy_outputs=True)
-                except Exception as exc:
-                    results.update(self._isolate(batch, exc))
+                # copy_outputs=True everywhere below: the demux worker
+                # must not read arena views the next batch's execution
+                # is about to overwrite.
+                packed = self._dispatch_wide(group, copy_outputs=True)
+                if packed is not None:
+                    for batch, out in zip(group, packed):
+                        _overlap(batch, out)
                     continue
-                self._note_batch(batch)
-                inflight.append(
-                    (pool.submit(self._finish, batch, out), batch, out))
-                self.overlapped_batches += 1
+                for batch in group:
+                    try:
+                        out = self._execute(batch, copy_outputs=True)
+                    except Exception as exc:
+                        results.update(self._isolate(batch, exc))
+                        continue
+                    _overlap(batch, out)
         finally:
             # Flush every outstanding future even if batch execution (or
             # isolation) raised: a pending demux future must never leak,
@@ -778,6 +897,13 @@ class BatchScheduler:
             "degraded_batches": self.degraded_batches,
             "engine_fallbacks": self.engine_fallbacks,
             "demux_recoveries": self.demux_recoveries,
+            # wide-dispatch counters
+            "wide_batches": self.wide_batches,
+            "wide_dispatches": self.wide_dispatches,
+            "wide_fallbacks": self.wide_fallbacks,
+            "max_width_achieved": self.max_width_achieved,
+            "engine_max_inflight": self.session.engine.stats().get(
+                "max_inflight", 0),
             "shed_rejected": self.queue.rejected,
             "shed_expired": self.queue.expired_dropped,
             **{key: current[key] - self._baseline[key]
