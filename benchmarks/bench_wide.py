@@ -149,6 +149,7 @@ def run_benchmark(smoke: bool = False) -> dict:
                 "requests_per_s": requests / (p50 / 1e3),
                 "bit_identical": bool(bit_identical),
                 "steps": len(plan.order),
+                "dispatches_per_request": len(plan.order) / requests,
                 "us_per_step": p50 * 1e3 / len(plan.order),
                 "max_inflight": stats.get("max_inflight", 1),
                 "plan_max_width": plan.max_width,

@@ -192,11 +192,61 @@ class _VecBound:
         return table * self.scale
 
 
-class VectorCodeGenerator:
-    """Emits the vectorized Python source for one lowered kernel."""
+@dataclass
+class _AliasSource:
+    """A fused-region internal value held in a loop-local temporary.
 
-    def __init__(self, kernel: LoweredKernel):
+    ``var`` names the temporary: shape ``(_nb, *padded_extents)`` per
+    bucket, zero-filled with the loop-bounded region assigned in -- a
+    bit-exact stand-in for the scatter/gather round-trip through an
+    arena slab.  ``tables`` holds, per store axis, the producer's
+    storage-padded extents over every governing index; consumers check
+    both their own padding (must be equal) and their loop bounds (must
+    fit) against them at compile time.
+    """
+
+    var: str
+    tables: Tuple[np.ndarray, ...]
+
+
+@dataclass
+class _AliasOut:
+    """Where a member kernel's store goes inside a fused region.
+
+    ``var`` is the temporary receiving the (float32-cast) store values;
+    with ``external=True`` the store *also* scatters into the real
+    output buffer (the value has readers outside the region too).
+    """
+
+    var: str
+    external: bool = False
+
+
+class VectorCodeGenerator:
+    """Emits the vectorized Python source for one lowered kernel.
+
+    With a ``prefix`` the generator namespaces every emitted local
+    (buffers, aux views, bounds, index arrays, reduction temporaries)
+    so several member kernels can share one function body and one
+    bucket loop -- the fused-region emission of
+    :func:`generate_fused_kernel`.  ``value_of`` remaps tensor names to
+    program value names for the ``buffers`` dict, ``aux_ns`` prefixes
+    the ``aux`` dict keys, ``alias`` redirects reads of internalised
+    values to their producer's temporary, and ``alias_out`` redirects
+    (or tees) the store into a temporary.
+    """
+
+    def __init__(self, kernel: LoweredKernel, prefix: str = "",
+                 value_of: Optional[Dict[str, str]] = None,
+                 aux_ns: str = "",
+                 alias: Optional[Dict[str, _AliasSource]] = None,
+                 alias_out: Optional[_AliasOut] = None):
         self.kernel = kernel
+        self._prefix = prefix
+        self._values = value_of or {}
+        self._aux_ns = aux_ns
+        self._alias = alias or {}
+        self._alias_out = alias_out
         #: synthetic leading axis: the bucket axis (loop mode) or the fused
         #: iteration axis (fused mode)
         self._stack_dim = Dim("stack")
@@ -403,11 +453,27 @@ class VectorCodeGenerator:
         return list(dict.fromkeys(names))
 
     @staticmethod
-    def _safe(name: str) -> str:
+    def _sanitize(name: str) -> str:
         return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
+    def _safe(self, name: str) -> str:
+        clean = self._sanitize(name)
+        return f"{self._prefix}_{clean}" if self._prefix else clean
+
+    def _local(self, base: str) -> str:
+        """Namespace a fixed-name local (``_ixb``, ``_val``, ``_red0``...)."""
+        return f"{base}_{self._prefix}" if self._prefix else base
+
+    def _aux_key(self, name: str) -> str:
+        return f"{self._aux_ns}{name}"
+
+    def _value_name(self, tensor_name: str) -> str:
+        """The ``buffers`` dict key for a tensor (program value name when
+        emitted as a fused-region member, the tensor name otherwise)."""
+        return self._values.get(tensor_name, tensor_name)
+
     def _fn_name(self) -> str:
-        return f"cora_vkernel_{self._safe(self.kernel.name)}"
+        return f"cora_vkernel_{self._sanitize(self.kernel.name)}"
 
     # -- source emission -------------------------------------------------------
 
@@ -418,28 +484,8 @@ class VectorCodeGenerator:
         em.push()
         em.emit(f'"""Vectorized (NumPy) CoRa kernel for operator '
                 f'{kernel.name!r}."""')
-        out_name = kernel.output_plan.spec.name
-        em.emit(f"_buf_{self._safe(out_name)} = buffers[{out_name!r}]")
         accessed = self._accessed_tensors()
-        for name in kernel.input_plans:
-            if name in accessed:
-                em.emit(f"_buf_{self._safe(name)} = buffers[{name!r}]")
-        for name in sorted(self._aux_names_used()):
-            em.emit(f"_aux_{self._safe(name)} = aux[{name!r}]")
-        # Dense tensors are reshaped once, outside any instance loop.  In
-        # fused mode the reshape is skipped only when *every* access to the
-        # tensor goes through the flat-gather path instead.
-        for name in accessed:
-            plan = kernel.input_plans[name]
-            if not plan.is_ragged and (
-                    self.mode != "fused" or self._dense_needs_nd(name)):
-                shape = ", ".join(str(s) for s in plan.layout.dense_shape())
-                em.emit(f"_nd_{self._safe(name)} = "
-                        f"_buf_{self._safe(name)}.reshape({shape})")
-        if not kernel.output_plan.is_ragged:
-            shape = ", ".join(str(s) for s in kernel.output_plan.layout.dense_shape())
-            em.emit(f"_nd_{self._safe(out_name)} = "
-                    f"_buf_{self._safe(out_name)}.reshape({shape})")
+        self.emit_prolog(em, accessed)
         if self.mode == "fused":
             self._emit_fused_prolog(em)
             self._emit_body(em)
@@ -455,12 +501,54 @@ class VectorCodeGenerator:
             em.push()
             em.emit("_nb = _bs.size")
             em.emit("_b0 = int(_bs[0])")
-            self._emit_bounds(em)
-            self._emit_views(em, accessed)
-            self._emit_body(em)
+            self.emit_bucket_body(em, accessed)
             em.pop()
         em.pop()
         return em.source()
+
+    def emit_prolog(self, em: _Emitter, accessed: Sequence[str]) -> None:
+        """Emit the per-call setup: buffer views, aux views, dense reshapes.
+
+        Aliased tensors (fused-region internals) have no buffer -- their
+        reads and stores go through loop-local temporaries instead.
+        """
+        kernel = self.kernel
+        out_name = kernel.output_plan.spec.name
+        out_has_buffer = (self._alias_out is None or self._alias_out.external)
+        if out_has_buffer:
+            em.emit(f"_buf_{self._safe(out_name)} = "
+                    f"buffers[{self._value_name(out_name)!r}]")
+        for name in kernel.input_plans:
+            if name in accessed and name not in self._alias:
+                em.emit(f"_buf_{self._safe(name)} = "
+                        f"buffers[{self._value_name(name)!r}]")
+        for name in sorted(self._aux_names_used()):
+            em.emit(f"_aux_{self._safe(name)} = aux[{self._aux_key(name)!r}]")
+        # Dense tensors are reshaped once, outside any instance loop.  In
+        # fused mode the reshape is skipped only when *every* access to the
+        # tensor goes through the flat-gather path instead.
+        for name in accessed:
+            plan = kernel.input_plans[name]
+            if name in self._alias or plan.is_ragged:
+                continue
+            if self.mode != "fused" or self._dense_needs_nd(name):
+                shape = ", ".join(str(s) for s in plan.layout.dense_shape())
+                em.emit(f"_nd_{self._safe(name)} = "
+                        f"_buf_{self._safe(name)}.reshape({shape})")
+        if out_has_buffer and not kernel.output_plan.is_ragged:
+            shape = ", ".join(str(s) for s in kernel.output_plan.layout.dense_shape())
+            em.emit(f"_nd_{self._safe(out_name)} = "
+                    f"_buf_{self._safe(out_name)}.reshape({shape})")
+
+    def emit_bucket_body(self, em: _Emitter, accessed: Sequence[str]) -> None:
+        """Emit one loop-mode bucket iteration (bounds, gathers, body).
+
+        Assumes ``_bs`` / ``_nb`` / ``_b0`` are in scope -- shared across
+        all members when composed into a fused-region kernel.
+        """
+        self._emit_bounds(em)
+        self._emit_views(em, accessed)
+        self._emit_body(em)
 
     def _have_aux(self) -> bool:
         try:
@@ -517,6 +605,8 @@ class VectorCodeGenerator:
             if not vb.base.is_const:
                 names.append(vb.base.table_name)
         for name in self._accessed_tensors():
+            if name in self._alias:
+                continue  # reads come from a temporary, no gather aux
             plan = self.kernel.input_plans[name]
             if plan.is_ragged:
                 if self.mode == "fused":
@@ -525,10 +615,15 @@ class VectorCodeGenerator:
                     names.extend([plan.row_name, plan.shape_name])
         out_plan = self.kernel.output_plan
         if out_plan.is_ragged:
-            if self.mode == "fused":
-                names.extend([out_plan.row_name, out_plan.stride_name])
-            else:
-                names.extend([out_plan.row_name, out_plan.shape_name])
+            if self._alias_out is None or self._alias_out.external:
+                if self.mode == "fused":
+                    names.extend([out_plan.row_name, out_plan.stride_name])
+                else:
+                    names.extend([out_plan.row_name, out_plan.shape_name])
+            elif len(self.kernel.output_dims) > 1:
+                # Internal alias temporaries are padded to the storage
+                # extents, read from the shape table at runtime.
+                names.append(out_plan.shape_name)
         return list(dict.fromkeys(names))
 
     # -- bounds / views --------------------------------------------------------
@@ -551,6 +646,8 @@ class VectorCodeGenerator:
 
     def _emit_views(self, em: _Emitter, accessed: Sequence[str]) -> None:
         for name in accessed:
+            if name in self._alias:
+                continue  # fed from the producing member's temporary
             plan = self.kernel.input_plans[name]
             if plan.is_ragged:
                 safe = self._safe(name)
@@ -595,20 +692,20 @@ class VectorCodeGenerator:
                 continue
             dim = expr.dim
             if dim is self.gov_dim and self._gov_value_var is None:
-                self._gov_value_var = "_ixb"
+                self._gov_value_var = self._local("_ixb")
                 src = "_bs" if self.mode == "loop" else "_ffo"
-                em.emit(f"_ixb = {src}.astype(np.float64)")
+                em.emit(f"{self._gov_value_var} = {src}.astype(np.float64)")
             elif (self.mode == "fused" and dim is self.inner_fused_dim
                     and self._inner_value_var is None):
-                self._inner_value_var = "_ixf"
-                em.emit("_ixf = _ffi.astype(np.float64)")
+                self._inner_value_var = self._local("_ixf")
+                em.emit(f"{self._inner_value_var} = _ffi.astype(np.float64)")
             elif (dim in self._bound_var and dim is not self._stack_dim
                     and dim not in self._index_arrays):
                 var = "_ix" + self._bound_var[dim][2:]
                 em.emit(f"{var} = np.arange({self._bound_var[dim]})")
                 self._index_arrays[dim] = var
         for i, red in enumerate(self.reduces):
-            self._emit_reduce(em, red, f"_red{i}", ctx_out)
+            self._emit_reduce(em, red, self._local(f"_red{i}"), ctx_out)
         value_code = self._expr_code(self.kernel.body, ctx_out)
         self._emit_store(em, value_code)
 
@@ -774,6 +871,9 @@ class VectorCodeGenerator:
 
     def _access_info_loop(self, access: TensorAccess,
                           plan: TensorPlan) -> Tuple[str, Tuple[Dim, ...]]:
+        alias = self._alias.get(access.tensor.name)
+        if alias is not None:
+            return self._access_info_alias(access, alias)
         indices = access.indices
         if plan.is_ragged:
             first = indices[0]
@@ -825,6 +925,158 @@ class VectorCodeGenerator:
         name = f"{prefix}{self._safe(access.tensor.name)}"
         code = f"{name}[{', '.join(subs)}]" if subs else name
         return code, tuple(dims)
+
+    def _access_info_alias(self, access: TensorAccess,
+                           alias: _AliasSource) -> Tuple[str, Tuple[Dim, ...]]:
+        """Read a fused-region internal value straight from its producer's
+        padded loop-local temporary (axes: stack, then the producer's
+        store axes at their storage-padded extents).
+
+        The temporary reproduces buffer semantics bit-for-bit -- padded
+        contiguous layout with zeros in the slack, exactly like a
+        gathered arena slab -- so the consumer's own storage-padded
+        extents must match the producer's, and its loop bounds must stay
+        within them.  Any violation rejects the fused emission (the
+        grouped fallback reproduces buffer semantics exactly).
+        """
+        name = access.tensor.name
+        plan = self.kernel.input_plans.get(name)
+        indices = access.indices
+        first = indices[0] if indices else None
+        if not (isinstance(first, LoopVar) and first.dim is self.gov_dim):
+            raise VectorizeError(
+                f"fused alias read of {name!r} is not governed by the "
+                "outer loop"
+            )
+        inner = indices[1:]
+        if len(inner) != len(alias.tables):
+            raise VectorizeError(
+                f"fused alias read of {name!r} has rank {len(inner)}, "
+                f"producer stores rank {len(alias.tables)}"
+            )
+        self._alias_padding_matches(name, plan, alias)
+        dims: List[Dim] = [self._stack_dim]
+        subs: List[str] = [":"]
+        for col, idx in enumerate(inner):
+            if isinstance(idx, Const):
+                needed = np.asarray([int(idx.value) + 1], dtype=np.int64)
+                self._alias_fit(needed, alias.tables[col], name, col)
+                subs.append(str(int(idx.value)))
+                continue
+            if not isinstance(idx, LoopVar) or idx.dim is self.gov_dim:
+                raise VectorizeError(
+                    f"unsupported index expression {idx!r} on fused alias "
+                    f"read of {name!r}"
+                )
+            var = self._bound_var.get(idx.dim)
+            if var is None:
+                raise VectorizeError(
+                    f"fused alias read of {name!r} indexes "
+                    f"{idx.dim.name}, which is not a vectorized loop"
+                )
+            needed = self._vb_of(idx.dim).values(self.kernel)
+            self._alias_fit(needed, alias.tables[col], name, col)
+            if idx.dim in dims:
+                raise VectorizeError(
+                    f"fused alias read of {name!r} indexes "
+                    f"{idx.dim.name} more than once"
+                )
+            dims.append(idx.dim)
+            subs.append(f":{var}")
+        code = f"{alias.var}[{', '.join(subs)}]"
+        if plan is not None and not plan.is_ragged:
+            # The unfused plan reads dense tensors through an
+            # advanced-index copy; match its contiguity.
+            code = f"np.ascontiguousarray({code})"
+        return code, tuple(dims)
+
+    def _alias_padding_matches(self, name: str, plan: Optional[TensorPlan],
+                               alias: _AliasSource) -> None:
+        """The consumer's storage-padded extents for ``name`` must equal
+        the producer's: the unfused plan would gather an array padded to
+        the *consumer's* shape table, and a padding mismatch would hand
+        NumPy's layout-sensitive reductions a differently shaped operand.
+        """
+        if plan is None:
+            raise VectorizeError(
+                f"fused alias read of unknown tensor {name!r}")
+        if plan.is_ragged:
+            try:
+                shapes = np.asarray(self.kernel.aux_arrays[plan.shape_name])
+            except KeyError:
+                raise VectorizeError(
+                    f"fused alias read of {name!r} has no consumer shape "
+                    "table to check padding against")
+            if shapes.ndim != 2 or shapes.shape[1] != len(alias.tables):
+                raise VectorizeError(
+                    f"fused alias read of {name!r}: consumer shape table "
+                    f"rank does not match {len(alias.tables)} store axes")
+            for col, avail in enumerate(alias.tables):
+                if not np.array_equal(np.asarray(shapes[:, col]).ravel(),
+                                      np.asarray(avail).ravel()):
+                    raise VectorizeError(
+                        f"fused consumer pads {name!r} axis {col} "
+                        "differently from the producer's storage extents")
+            return
+        dense = tuple(plan.layout.dense_shape()[1:])
+        if len(dense) != len(alias.tables):
+            raise VectorizeError(
+                f"fused alias read of {name!r}: consumer dense rank does "
+                f"not match {len(alias.tables)} store axes")
+        for col, avail in enumerate(alias.tables):
+            if not bool(np.all(np.asarray(avail) == int(dense[col]))):
+                raise VectorizeError(
+                    f"fused consumer pads {name!r} axis {col} differently "
+                    "from the producer's storage extents")
+
+    @staticmethod
+    def _alias_fit(needed: np.ndarray, available: np.ndarray,
+                   name: str, col: int) -> None:
+        if needed.size != available.size and 1 in (needed.size, available.size):
+            exceeded = bool(np.any(needed > available))
+        else:
+            n = min(needed.size, available.size) or 1
+            exceeded = bool(np.any(needed[:n] > available[:n]))
+        if exceeded:
+            raise VectorizeError(
+                f"fused consumer bound exceeds the producer storage extent "
+                f"of {name!r} axis {col}"
+            )
+
+    def store_bound_tables(self) -> Tuple[np.ndarray, ...]:
+        """Per-store-axis *storage-padded* extents -- the shape of this
+        kernel's alias temporary, and what a consuming member checks its
+        reads against (loop mode only).
+
+        These are the padded extents a gathered buffer view would have,
+        not the tighter loop bounds: the temporary mirrors the buffer
+        round-trip bit-for-bit (zeros in the slack, padded contiguous
+        layout), because NumPy reductions are layout-sensitive at the
+        ULP level.
+        """
+        if self.mode != "loop":
+            raise VectorizeError(
+                "fused-mode members cannot feed an alias temporary")
+        out_plan = self.kernel.output_plan
+        store_rank = len(self.kernel.output_dims) - 1
+        if out_plan.is_ragged:
+            try:
+                shapes = np.asarray(self.kernel.aux_arrays[out_plan.shape_name])
+            except KeyError:
+                raise VectorizeError(
+                    f"output {out_plan.spec.name!r} has no shape table for "
+                    "its alias temporary")
+            if shapes.ndim != 2 or shapes.shape[1] != store_rank:
+                raise VectorizeError(
+                    f"output {out_plan.spec.name!r} shape table rank "
+                    f"{shapes.shape} does not match {store_rank} store axes")
+            return tuple(shapes[:, col] for col in range(store_rank))
+        dense = tuple(out_plan.layout.dense_shape()[1:])
+        if len(dense) != store_rank:
+            raise VectorizeError(
+                f"output {out_plan.spec.name!r} dense shape {dense} does "
+                f"not match {store_rank} store axes")
+        return tuple(np.asarray([int(n)], dtype=np.int64) for n in dense)
 
     # -- fused-mode gathers ------------------------------------------------------
 
@@ -1045,15 +1297,44 @@ class VectorCodeGenerator:
             # output's shape includes it at position 0.
             axis = col if out_plan.is_ragged else col + 1
             self._check_index_fits(out_plan, axis, LoopVar(dim))
+        temp = self._alias_out.var if self._alias_out is not None else None
         if not store_dims:
-            em.emit(f"_nd_{safe}[_bs] = {value_code}")
+            if temp is not None:
+                # Materialized contiguous float32, matching the buffer
+                # assignment downstream consumers would otherwise read back.
+                em.emit(f"{temp} = np.zeros((_nb,), dtype=np.float32)")
+                em.emit(f"{temp}[:] = {value_code}")
+                if self._alias_out.external:
+                    em.emit(f"_nd_{safe}[_bs] = {temp}")
+            else:
+                em.emit(f"_nd_{safe}[_bs] = {value_code}")
             return
-        em.emit(f"_val = np.broadcast_to({value_code}, "
+        val_var = self._local("_val")
+        em.emit(f"{val_var} = np.broadcast_to({value_code}, "
                 f"{self._shape_code(ctx_out)})")
         perm = [0] + [1 + self.inner_dims.index(d) for d in store_dims]
-        val = "_val"
+        val = val_var
         if perm != sorted(perm):
-            val = f"_val.transpose({', '.join(map(str, perm))})"
+            val = f"{val_var}.transpose({', '.join(map(str, perm))})"
+        if temp is not None:
+            # The temporary replays the scatter/gather round-trip exactly:
+            # zero-filled, padded to the storage extents, loop-bounded
+            # region assigned in.  Tight-extent temps would feed NumPy's
+            # layout-sensitive reductions differently (ULP divergence).
+            if out_plan.is_ragged:
+                em.emit(f"{temp} = np.zeros((_nb,) + tuple(int(_s) for _s "
+                        f"in _aux_{self._safe(out_plan.shape_name)}[_b0]), "
+                        f"dtype=np.float32)")
+            else:
+                pad = ", ".join(
+                    str(int(s))
+                    for s in out_plan.layout.dense_shape()[1:])
+                em.emit(f"{temp} = np.zeros((_nb, {pad}), dtype=np.float32)")
+            region = ", ".join(f":{self._bound_var[d]}" for d in store_dims)
+            em.emit(f"{temp}[:, {region}] = {val}")
+            if not self._alias_out.external:
+                return
+            val = f"{temp}[:, {region}]"
         bounds = ", ".join(self._bound_var[d] for d in store_dims)
         if out_plan.is_ragged:
             em.emit(f"_scatter_slices(_buf_{safe}, "
@@ -1165,3 +1446,125 @@ def can_vectorize(kernel: LoweredKernel) -> bool:
     except VectorizeError:
         return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# Fused-region emission
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FusedMemberPlan:
+    """One member of a fused region, as the executor hands it to
+    :func:`generate_fused_kernel`.
+
+    ``bindings`` maps the member's *input* tensor names to program value
+    names; ``out_value`` is the program value its output feeds.  An
+    ``internal`` output has no reader outside the region and lives in a
+    loop-local temporary instead of a buffer.
+    """
+
+    kernel: LoweredKernel
+    bindings: Dict[str, str]
+    out_value: str
+    internal: bool
+
+
+def generate_fused_kernel(name: str,
+                          members: Sequence[FusedMemberPlan],
+                          ) -> GeneratedKernel:
+    """Emit one vector kernel executing a whole fused region.
+
+    Every member's body is namespaced (prefix ``m{i}``) and composed
+    inside a *single* shared bucket loop, so the chain pays one Python
+    dispatch and one signature-bucketing pass instead of one per member.
+    Internal values flow producer -> consumer through loop-local
+    temporaries (their gathers and scatters disappear along with their
+    arena slabs); values with external readers are still scattered to
+    their buffers and re-gathered by in-region consumers, preserving
+    buffer semantics exactly.
+
+    Legality (anything else raises :class:`VectorizeError` and the
+    executor falls back to the bit-identical grouped dispatch): every
+    member vectorizes in bucketed-loop mode over the *same* governing
+    extent, and every alias read stays within its producer's store
+    bounds (checked per governing index at compile time).
+    """
+    if not members:
+        raise VectorizeError("fused region has no members")
+    gens: List[VectorCodeGenerator] = []
+    alias_reg: Dict[str, _AliasSource] = {}
+    for i, m in enumerate(members):
+        alias = {}
+        for tensor, value in m.bindings.items():
+            src = alias_reg.get(value)
+            if src is not None:
+                alias[tensor] = src
+        out_tensor = m.kernel.output_plan.spec.name
+        gen = VectorCodeGenerator(
+            m.kernel,
+            prefix=f"m{i}",
+            value_of={**m.bindings, out_tensor: m.out_value},
+            aux_ns=f"m{i}/",
+            alias=alias,
+            alias_out=_AliasOut(var=f"_t{i}") if m.internal else None,
+        )
+        if gen.mode != "loop":
+            raise VectorizeError(
+                f"member {m.kernel.name!r} uses a fused governing loop")
+        gens.append(gen)
+        if m.internal:
+            alias_reg[m.out_value] = _AliasSource(
+                var=f"_t{i}", tables=gen.store_bound_tables())
+    gov_count = gens[0].gov_count
+    for gen in gens[1:]:
+        if gen.gov_count != gov_count:
+            raise VectorizeError(
+                "fused members disagree on the governing extent")
+    # One shared bucket partition: the union of every member's signature
+    # tables, so each member's per-bucket bound reads stay constant.
+    arrays: List[np.ndarray] = []
+    for gen in gens:
+        arrays.extend(gen.kernel.aux_arrays[n]
+                      for n in gen._signature_tables())
+    buckets = bucket_by_signature(gov_count, arrays)
+    for gen in gens:
+        gen._buckets_cache = buckets
+
+    em = _Emitter()
+    fn_name = f"cora_vfused_{VectorCodeGenerator._sanitize(name)}"
+    em.emit(f"def {fn_name}(buffers, aux):")
+    em.push()
+    em.emit(f'"""Fused vectorized CoRa kernel for region {name!r} '
+            f'({len(members)} members)."""')
+    accessed = [gen._accessed_tensors() for gen in gens]
+    for gen, acc in zip(gens, accessed):
+        gen.emit_prolog(em, acc)
+    # One zero-fill per external output replaces the per-step prezero of
+    # the unfused dispatch loop (internal values never need one: alias
+    # reads are bound-checked against the producer's store region).
+    for m, gen in zip(members, gens):
+        if not m.internal:
+            em.emit(f"_buf_{gen._safe(m.kernel.output_plan.spec.name)}"
+                    ".fill(0.0)")
+    em.emit(f"# {len(buckets)} shared instance bucket(s) over "
+            f"{gov_count} governing indices")
+    em.emit("for _bs in _BUCKETS:")
+    em.push()
+    em.emit("_nb = _bs.size")
+    em.emit("_b0 = int(_bs[0])")
+    for gen, acc in zip(gens, accessed):
+        em.emit(f"# member {gen.kernel.name!r}")
+        gen.emit_bucket_body(em, acc)
+    em.pop()
+    em.pop()
+    source = em.source()
+    namespace: Dict[str, object] = {
+        "np": np,
+        "_gather_slices": _gather_slices,
+        "_scatter_slices": _scatter_slices,
+        "_BUCKETS": buckets,
+    }
+    exec(compile(source, f"<cora-vfused:{name}>", "exec"), namespace)
+    return GeneratedKernel(name=name, source=source,
+                           fn=namespace[fn_name], backend="vector")

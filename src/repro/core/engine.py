@@ -381,13 +381,19 @@ def _process_worker_main(worker_id: int, task_q, result_q) -> None:
         elif kind == "uninstall":
             _worker_drop(programs, msg[1])
         elif kind == "install":
-            (_, key, recipe, inplace, backend, shm_name,
+            (_, key, recipe, inplace, fuse, backend, cache_dir, shm_name,
              slab_meta, input_meta, seq) = msg
             try:
                 from repro.core.executor import shared_executor
                 from repro.core.program import build_from_recipe
                 from repro.core.session import CompiledProgram
 
+                executor = shared_executor(backend)
+                if cache_dir is not None and (
+                        executor.disk_cache is None
+                        or str(executor.disk_cache.root) != cache_dir):
+                    from repro.core.aotcache import AOTCache
+                    executor.disk_cache = AOTCache(cache_dir)
                 shm = _attach_shm(shm_name)
                 slabs = [np.frombuffer(shm.buf, dtype=np.float32,
                                        count=count, offset=off)
@@ -399,7 +405,7 @@ def _process_worker_main(worker_id: int, task_q, result_q) -> None:
                 }
                 program = build_from_recipe(recipe)
                 compiled = CompiledProgram(
-                    program, shared_executor(backend), inplace=inplace,
+                    program, executor, inplace=inplace, fuse=fuse,
                     slab_buffers=slabs, input_buffers=inputs)
                 del slabs, inputs
                 fingerprint = (tuple(compiled.plan.order),
@@ -648,7 +654,8 @@ class ProcessPoolEngine(ExecutionEngine):
         return -(-int(nbytes) // align) * align
 
     def _install(self, context) -> Tuple:
-        key = (context.program.uid, bool(context.plan.inplace))
+        key = (context.program.uid, bool(context.plan.inplace),
+               bool(getattr(context, "fuse", False)))
         entry = self._installed.get(key)
         if entry is not None:
             self._installed.move_to_end(key)
@@ -695,9 +702,12 @@ class ProcessPoolEngine(ExecutionEngine):
         self._seq += 1
         seq = self._seq
         backend = context.executor.backend.name
+        disk = context.executor.disk_cache
+        cache_dir = str(disk.root) if disk is not None else None
         for task_q in self._task_qs:
             task_q.put(("install", key, recipe, bool(context.plan.inplace),
-                        backend, shm.name, slab_meta, input_meta, seq))
+                        bool(getattr(context, "fuse", False)), backend,
+                        cache_dir, shm.name, slab_meta, input_meta, seq))
         parent_fp = (tuple(context.plan.order),
                      tuple(context.plan.slab_elements),
                      tuple(context.plan.ready_steps),

@@ -25,13 +25,20 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.aotcache import AOTCache, Uncacheable, kernel_cache_key
 from repro.core.cache import LRUDict
 from repro.core.codegen import CodegenBackend, GeneratedKernel, get_backend
+from repro.core.codegen_vector import (
+    FusedMemberPlan,
+    VectorizeError,
+    generate_fused_kernel,
+)
 from repro.core.errors import ExecutionError
 from repro.core.extents import ConstExtent, Extent, PaddedExtent, VarExtent
 from repro.core.ir import count_flops, reductions_in
@@ -101,6 +108,86 @@ class CompiledKernel:
         if self._dense_flops is None:
             self._dense_flops = estimate_dense_flops(self.lowered)
         return self._dense_flops
+
+
+class _GroupedFusedKernel:
+    """Bit-identical fallback execution of a fused kernel region.
+
+    Runs each member's individually compiled kernel in order inside one
+    dispatch.  Internal values flow through fresh zero-initialised
+    temporaries (allocated per call: fused kernels are cached and may be
+    shared across threads), reproducing the pre-zeroed arena-slab
+    semantics of the unfused plan exactly; external outputs are
+    zero-filled and written in their buffers as usual.
+    """
+
+    def __init__(self, plans, members: List["CompiledKernel"]):
+        self._parts = []
+        for plan, compiled in zip(plans, members):
+            self._parts.append((
+                compiled.generated,
+                compiled.lowered.aux_arrays,
+                dict(plan.bindings),
+                compiled.lowered.output_plan.spec.name,
+                plan.out_value,
+                plan.internal,
+                int(compiled.output_layout.total_size()),
+            ))
+
+    def __call__(self, buffers: Dict[str, np.ndarray],
+                 aux: Dict[str, np.ndarray]) -> None:
+        temps: Dict[str, np.ndarray] = {}
+        for (generated, aux_arrays, bindings, out_tensor, out_value,
+                internal, size) in self._parts:
+            local: Dict[str, np.ndarray] = {}
+            for tensor, value in bindings.items():
+                buf = temps.get(value)
+                local[tensor] = buffers[value] if buf is None else buf
+            if internal:
+                out = np.zeros(size, dtype=np.float32)
+                temps[out_value] = out
+            else:
+                out = buffers[out_value]
+                out.fill(0.0)
+            local[out_tensor] = out
+            generated(local, aux_arrays)
+
+
+@dataclass
+class CompiledFusedKernel:
+    """A compiled fused region: one dispatch covering several kernels.
+
+    ``generated`` is either the single emitted vector kernel
+    (``fused=True``) or a :class:`_GroupedFusedKernel` wrapper running
+    the members back-to-back (``fused=False``, with the
+    :class:`~repro.core.codegen_vector.VectorizeError` reason).  Either
+    way the callable takes ``(buffers, aux)`` with buffers keyed by
+    *program value* names and zero-fills its own external outputs.
+    """
+
+    node: object
+    members: List[CompiledKernel]
+    generated: GeneratedKernel
+    aux_arrays: Dict[str, np.ndarray]
+    fused: bool
+    fallback_reason: Optional[str] = None
+
+    @property
+    def backend_name(self) -> str:
+        return self.generated.backend
+
+    @property
+    def flops(self) -> int:
+        return sum(m.flops for m in self.members)
+
+    @property
+    def dense_flops(self) -> int:
+        return sum(m.dense_flops for m in self.members)
+
+    def output_layouts(self) -> Dict[str, Optional[RaggedLayout]]:
+        """Program value name -> compiled output layout, per member."""
+        return {m_node.outputs[0]: compiled.output_layout
+                for m_node, compiled in zip(self.node.members, self.members)}
 
 
 def _per_point_flops(lowered: LoweredKernel) -> int:
@@ -290,15 +377,26 @@ class Executor:
 
     def __init__(self, device: Optional[object] = None,
                  backend: Union[str, CodegenBackend, None] = "vector",
-                 cache: bool = True, cache_capacity: int = 256):
+                 cache: bool = True, cache_capacity: int = 256,
+                 disk_cache: Union[AOTCache, str, bool, None] = None):
         self.device = device
         self.backend = get_backend(backend)
         self.cache_enabled = cache
         self.cache_capacity = int(cache_capacity)
+        if disk_cache is None or disk_cache is False:
+            self.disk_cache: Optional[AOTCache] = None
+        elif isinstance(disk_cache, AOTCache):
+            self.disk_cache = disk_cache
+        elif disk_cache is True:
+            self.disk_cache = AOTCache()
+        else:
+            self.disk_cache = AOTCache(disk_cache)
         #: key -> (compiled kernel, pinned schedule, pinned layouts), LRU.
         #: The schedule/layout references keep the objects (and hence the
         #: ids in the key) alive for as long as the entry exists.
         self._kernel_cache: LRUDict[Tuple, Tuple[CompiledKernel, Schedule, object]] = LRUDict(self.cache_capacity)
+        #: fused-region cache: canonical region key -> (compiled, node)
+        self._fused_cache: LRUDict[Tuple, Tuple[CompiledFusedKernel, object]] = LRUDict(self.cache_capacity)
         #: guards the kernel cache and compile counters: sessions may
         #: compile concurrently (e.g. a serving scheduler overlapping
         #: batches while another thread warms new signatures), and the
@@ -307,6 +405,15 @@ class Executor:
         self.lower_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: kernels rebuilt from / persisted to the AOT disk cache
+        self.disk_hits = 0
+        self.disk_stores = 0
+        #: fused-region compilation counters
+        self.fused_regions = 0
+        self.fused_emitted = 0
+        self.fused_fallbacks = 0
+        self.fused_cache_hits = 0
+        self.fused_fallback_reasons: Counter = Counter()
 
     # -- compilation ----------------------------------------------------------
 
@@ -325,7 +432,7 @@ class Executor:
         """
         with self._lock:
             if not self.cache_enabled:
-                return self._compile_uncached(schedule, input_layouts)
+                return self._compile_or_load(schedule, input_layouts)
             key = (self.backend.name,
                    schedule_signature(schedule, input_layouts))
             entry = self._kernel_cache.get(key)
@@ -333,9 +440,38 @@ class Executor:
                 self.cache_hits += 1
                 return entry[0]
             self.cache_misses += 1
-            compiled = self._compile_uncached(schedule, input_layouts)
+            compiled = self._compile_or_load(schedule, input_layouts)
             self._kernel_cache.put(key, (compiled, schedule, input_layouts))
             return compiled
+
+    def _compile_or_load(
+        self,
+        schedule: Schedule,
+        input_layouts: Optional[Dict[str, RaggedLayout]] = None,
+    ) -> CompiledKernel:
+        """The disk tier between the in-memory LRU and a real compile.
+
+        A disk hit rebuilds the kernel without touching ``lower_count``
+        -- that counter means "lowering passes actually performed", and
+        the zero-lowerings-on-warm-start guarantee is asserted on it.
+        Uncacheable schedules (callable-backed extents / remap policies)
+        skip the tier entirely.
+        """
+        if self.disk_cache is None:
+            return self._compile_uncached(schedule, input_layouts)
+        try:
+            key = kernel_cache_key(schedule, input_layouts, self.backend.name)
+        except Uncacheable:
+            return self._compile_uncached(schedule, input_layouts)
+        loaded = self.disk_cache.load(key)
+        if loaded is not None:
+            lowered, generated = loaded
+            self.disk_hits += 1
+            return CompiledKernel(lowered=lowered, generated=generated)
+        compiled = self._compile_uncached(schedule, input_layouts)
+        if self.disk_cache.store(key, compiled.lowered, compiled.generated):
+            self.disk_stores += 1
+        return compiled
 
     def _compile_uncached(
         self,
@@ -347,10 +483,113 @@ class Executor:
         generated = self.backend.generate(lowered)
         return CompiledKernel(lowered=lowered, generated=generated)
 
+    # -- fused regions ---------------------------------------------------------
+
+    @staticmethod
+    def _fused_value_keys(node) -> Dict[str, str]:
+        """Canonical buffer keys for a fused region's program values.
+
+        Region inputs become ``i0, i1, ...`` (positional in
+        ``node.inputs``), external outputs ``o0, o1, ...`` and internal
+        values ``x0, x1, ...``.  Both the emitted kernel's ``buffers``
+        dict keys and the fused-cache key are built from these, so
+        structurally equal regions under different value names (the same
+        SDPA chain in every encoder layer) share one compiled kernel --
+        callers just hand in buffers keyed the same canonical way.
+        """
+        keys: Dict[str, str] = {}
+        for j, v in enumerate(node.inputs):
+            keys[v] = f"i{j}"
+        for j, v in enumerate(node.outputs):
+            keys[v] = f"o{j}"
+        for j, s in enumerate(node.internal_specs):
+            keys[s.name] = f"x{j}"
+        return keys
+
+    def _fused_key(self, node) -> Tuple:
+        """Cache key for a fused region (canonical value names)."""
+        keys = self._fused_value_keys(node)
+        parts = []
+        for m in node.members:
+            sig = schedule_signature(m.schedule, m.input_layouts)
+            bindings = tuple((t, keys[v])
+                             for t, v in sorted(m.bindings.items()))
+            parts.append((sig, bindings, keys[m.outputs[0]]))
+        return ("fused", self.backend.name, tuple(parts))
+
+    def compile_fused(self, node) -> CompiledFusedKernel:
+        """Compile a :class:`~repro.core.fusion.FusedKernelNode` (cached).
+
+        Members compile through :meth:`compile` (hitting the LRU and the
+        disk tier as usual); the region is then emitted as one vector
+        kernel, or -- when any member resists vector emission or an
+        alias read would leave its producer's store bounds -- wrapped in
+        the bit-identical grouped dispatch.  Neither path performs any
+        extra lowering, so fused compilation never increments
+        ``lower_count`` beyond its members.
+        """
+        with self._lock:
+            key = self._fused_key(node)
+            if self.cache_enabled:
+                entry = self._fused_cache.get(key)
+                if entry is not None:
+                    self.fused_cache_hits += 1
+                    return entry[0]
+            compiled = self._compile_fused_uncached(node)
+            if self.cache_enabled:
+                self._fused_cache.put(key, (compiled, node))
+            return compiled
+
+    def _compile_fused_uncached(self, node) -> CompiledFusedKernel:
+        members = [self.compile(m.schedule, input_layouts=m.input_layouts)
+                   for m in node.members]
+        internal = {s.name for s in node.internal_specs}
+        keys = self._fused_value_keys(node)
+        self.fused_regions += 1
+        plans = [
+            FusedMemberPlan(
+                kernel=compiled.lowered,
+                bindings={t: keys[v] for t, v in m.bindings.items()},
+                out_value=keys[m.outputs[0]],
+                internal=m.outputs[0] in internal,
+            )
+            for m, compiled in zip(node.members, members)
+        ]
+        reason: Optional[str] = None
+        try:
+            if self.backend.name != "vector":
+                raise VectorizeError(
+                    f"backend {self.backend.name!r} has no fused emitter")
+            for compiled in members:
+                if compiled.backend_name != "vector":
+                    raise VectorizeError(
+                        f"member {compiled.lowered.name!r} fell back to "
+                        f"scalar: {compiled.fallback_reason}")
+            generated = generate_fused_kernel(node.name, plans)
+            self.fused_emitted += 1
+        except VectorizeError as err:
+            reason = str(err)
+            self.fused_fallbacks += 1
+            self.fused_fallback_reasons[reason] += 1
+            generated = GeneratedKernel(
+                name=node.name,
+                source=f"# grouped fused dispatch (fallback: {reason})",
+                fn=_GroupedFusedKernel(plans, members),
+                backend="grouped",
+                fallback_reason=reason)
+        aux: Dict[str, np.ndarray] = {}
+        for i, compiled in enumerate(members):
+            for k, v in compiled.lowered.aux_arrays.items():
+                aux[f"m{i}/{k}"] = v
+        return CompiledFusedKernel(
+            node=node, members=members, generated=generated,
+            aux_arrays=aux, fused=reason is None, fallback_reason=reason)
+
     def clear_cache(self) -> None:
         """Drop all cached kernels (counters are left untouched)."""
         with self._lock:
             self._kernel_cache.clear()
+            self._fused_cache.clear()
 
     def reset_stats(self) -> None:
         """Zero the lowering / cache counters and the backend's codegen
@@ -359,6 +598,13 @@ class Executor:
             self.lower_count = 0
             self.cache_hits = 0
             self.cache_misses = 0
+            self.disk_hits = 0
+            self.disk_stores = 0
+            self.fused_regions = 0
+            self.fused_emitted = 0
+            self.fused_fallbacks = 0
+            self.fused_cache_hits = 0
+            self.fused_fallback_reasons.clear()
             reset = getattr(self.backend, "reset_stats", None)
             if reset is not None:
                 reset()
@@ -400,6 +646,15 @@ class Executor:
             "fallbacks": self.fallback_count,
             "fallback_reasons": dict(
                 getattr(self.backend, "fallback_reasons", {})),
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "disk_cache": (self.disk_cache.stats()
+                           if self.disk_cache is not None else None),
+            "fused_regions": self.fused_regions,
+            "fused_emitted": self.fused_emitted,
+            "fused_fallbacks": self.fused_fallbacks,
+            "fused_cache_hits": self.fused_cache_hits,
+            "fused_fallback_reasons": dict(self.fused_fallback_reasons),
         }
 
     # -- execution --------------------------------------------------------------

@@ -181,6 +181,26 @@ class VarExtent(Extent):
         """The per-index bound table, if the extent was built from one."""
         return self._table
 
+    def __getstate__(self):
+        # Only table-backed extents round-trip: a callable ``fn`` is an
+        # arbitrary closure, so pickling it would silently capture process
+        # state.  The AOT disk cache relies on this raising to skip
+        # uncacheable kernels.
+        if self._table is None:
+            raise TypeError(
+                "callable-backed VarExtent is not picklable; construct it "
+                "from a length table to serialise"
+            )
+        return {"dep": self.dep, "table": self._table, "name": self.name}
+
+    def __setstate__(self, state):
+        self.dep = state["dep"]
+        self.deps = (self.dep,)
+        self.name = state["name"]
+        table = state["table"]
+        self._table = table
+        self._fn = lambda i: table[i]
+
     def __repr__(self) -> str:
         return f"VarExtent({self.name}[{self.dep.name}])"
 

@@ -81,6 +81,12 @@ class ProgramPlan:
     step_succs: List[Tuple[int, ...]] = field(default_factory=list)
     #: steps with no predecessors (the initial ready set)
     ready_steps: Tuple[int, ...] = ()
+    #: the rewritten program when planned with ``fuse=True`` and at
+    #: least one region fused; ``order`` / ``liveness`` / steps index
+    #: into *its* nodes.  ``None`` for unfused plans.
+    fused_program: Optional[Program] = None
+    #: the :class:`~repro.core.fusion.FusionReport` (``None`` unfused)
+    fusion: Optional[object] = None
 
     @property
     def arena_bytes(self) -> int:
@@ -186,6 +192,9 @@ class ProgramPlan:
             "inplace": self.inplace,
             "inplace_values": self.inplace_values,
             "inplace_shared_bytes": self.inplace_shared_bytes,
+            "fused": self.fused_program is not None,
+            "fusion": (self.fusion.summary()
+                       if self.fusion is not None else None),
         }
 
 
@@ -432,7 +441,7 @@ def _pack_slabs(
 
 
 def plan_program(program: Program, itemsize: int = 4,
-                 inplace: bool = False) -> ProgramPlan:
+                 inplace: bool = False, fuse: bool = False) -> ProgramPlan:
     """Order the graph, run liveness, pack intermediates into slabs.
 
     Sizes come from the declared value layouts/shapes, so no compilation
@@ -453,8 +462,24 @@ def plan_program(program: Program, itemsize: int = 4,
     double buffering (hand-over can strand a big recycled slab), the
     planner falls back to the double-buffered packing, so
     ``arena_bytes`` with ``inplace=True`` never exceeds the default.
+
+    With ``fuse=True`` the graph is first rewritten by
+    :func:`~repro.core.fusion.fuse_program`: contiguous same-kind node
+    runs collapse into single fused steps and fully-internal
+    intermediates leave the plan (their slabs disappear).  The plan's
+    ``order`` / liveness / dependence structure then describes the
+    *fused* program, available as ``plan.fused_program``; callers keep
+    addressing the original program.
     """
     program.validate()
+    fused_program = None
+    fusion = None
+    if fuse:
+        from repro.core.fusion import fuse_program
+
+        fused_program, fusion = fuse_program(program)
+        if fused_program is not None:
+            program = fused_program
     order = topological_order(program)
     liveness = compute_liveness(program, order)
 
@@ -492,6 +517,8 @@ def plan_program(program: Program, itemsize: int = 4,
         step_preds=step_preds,
         step_succs=step_succs,
         ready_steps=ready_steps,
+        fused_program=fused_program,
+        fusion=fusion,
     )
 
 

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.aotcache import AOTCache
 from repro.core.cache import LRUDict
 from repro.core.engine import (
     ExecutionEngine,
@@ -38,7 +39,13 @@ from repro.core.engine import (
     SerialEngine,
     get_engine,
 )
-from repro.core.executor import CompiledKernel, Executor, shared_executor
+from repro.core.executor import (
+    CompiledFusedKernel,
+    CompiledKernel,
+    Executor,
+    shared_executor,
+)
+from repro.core.fusion import FusedHostNode, FusedKernelNode
 from repro.core.planner import ProgramPlan, ShardSpec, plan_program, plan_shards
 from repro.core.prelude import PreludeCache
 from repro.core.program import (
@@ -76,39 +83,68 @@ class CompiledProgram:
 
     def __init__(self, program: Program, executor: Executor,
                  inplace: bool = False,
+                 fuse: bool = False,
                  slab_buffers: Optional[Sequence[np.ndarray]] = None,
                  input_buffers: Optional[Dict[str, np.ndarray]] = None):
         program.validate()
         self.program = program
         self.executor = executor
+        self.fuse = bool(fuse)
 
-        # 1. Lower + codegen every kernel node (shared executor cache).
+        # 1. Liveness + arena planning.  With ``fuse`` the planner first
+        #    collapses fusable regions (:mod:`repro.core.fusion`) and the
+        #    plan -- order, slab assignment, dependence edges -- is the
+        #    *fused* program's; internalised intermediates have no slab at
+        #    all.  Everything below (compilation, buffers, steps) follows
+        #    the planned graph, while ``self.program`` stays the original
+        #    (callers address it; engines ship its recipe).
+        self.plan: ProgramPlan = plan_program(program, inplace=inplace,
+                                              fuse=fuse)
+        work = self.plan.fused_program \
+            if self.plan.fused_program is not None else program
+        self._work = work
+
+        # 2. Lower + codegen every kernel node (shared executor cache);
+        #    fused regions compile through ``executor.compile_fused``
+        #    (one emitted vector kernel, or a bit-identical grouped
+        #    dispatch when a member resists vector emission).
         self.kernels: Dict[int, CompiledKernel] = {}
-        for idx, node in enumerate(program.nodes):
-            if not isinstance(node, KernelNode):
-                continue
-            compiled = executor.compile(node.schedule,
-                                        input_layouts=node.input_layouts)
-            expected = set(compiled.lowered.input_plans)
-            bound = set(node.bindings)
-            if expected != bound:
-                raise ProgramError(
-                    f"kernel node {node.name!r} binds {sorted(bound)} but the "
-                    f"schedule's inputs are {sorted(expected)}")
-            out_name = node.outputs[0]
-            declared = program.values[out_name].layout.total_size()
-            actual = compiled.output_layout.total_size()
-            if declared != actual:
-                raise ProgramError(
-                    f"kernel node {node.name!r}: declared output layout has "
-                    f"{declared} elements but the compiled plan requires "
-                    f"{actual}")
-            self.kernels[idx] = compiled
-
-        # 2. Liveness + arena planning (sizes validated against the
-        #    compiled output plans above).  In-place mode lets
-        #    element-wise nodes share their dying input's slab.
-        self.plan: ProgramPlan = plan_program(program, inplace=inplace)
+        self.fused_kernels: Dict[int, CompiledFusedKernel] = {}
+        #: value name -> compiled output layout, for ragged wrapping.
+        self._kernel_layouts: Dict[str, Any] = {}
+        for idx, node in enumerate(work.nodes):
+            if isinstance(node, KernelNode):
+                compiled = executor.compile(node.schedule,
+                                            input_layouts=node.input_layouts)
+                expected = set(compiled.lowered.input_plans)
+                bound = set(node.bindings)
+                if expected != bound:
+                    raise ProgramError(
+                        f"kernel node {node.name!r} binds {sorted(bound)} "
+                        f"but the schedule's inputs are {sorted(expected)}")
+                out_name = node.outputs[0]
+                declared = work.values[out_name].layout.total_size()
+                actual = compiled.output_layout.total_size()
+                if declared != actual:
+                    raise ProgramError(
+                        f"kernel node {node.name!r}: declared output layout "
+                        f"has {declared} elements but the compiled plan "
+                        f"requires {actual}")
+                self.kernels[idx] = compiled
+                self._kernel_layouts[out_name] = compiled.output_layout
+            elif isinstance(node, FusedKernelNode):
+                fused_compiled = executor.compile_fused(node)
+                self.fused_kernels[idx] = fused_compiled
+                for vname, layout in fused_compiled.output_layouts().items():
+                    if vname not in work.values:
+                        continue  # internalised: no arena value to wrap
+                    declared = work.values[vname].layout.total_size()
+                    if declared != layout.total_size():
+                        raise ProgramError(
+                            f"fused node {node.name!r}: output {vname!r} "
+                            f"declares {declared} elements but the compiled "
+                            f"plan requires {layout.total_size()}")
+                    self._kernel_layouts[vname] = layout
 
         # 3. Allocate the arena slabs and the persistent input staging
         #    buffers once; every later run reuses them.  ``slab_buffers``
@@ -135,7 +171,7 @@ class CompiledProgram:
                         f">= {n} elements, got {buf.dtype} {buf.shape}")
                 self._slabs.append(buf[:n])
         flat: Dict[str, np.ndarray] = {}
-        for name, spec in program.values.items():
+        for name, spec in work.values.items():
             if spec.role == ROLE_CONSTANT:
                 flat[name] = np.ascontiguousarray(
                     spec.array, dtype=spec.dtype).reshape(-1)
@@ -165,12 +201,9 @@ class CompiledProgram:
         # Materialised wrappers handed to host functions / returned as
         # outputs: RaggedTensor for ragged values, shaped views for dense.
         wrapped: Dict[str, Any] = {}
-        for name, spec in program.values.items():
+        for name, spec in work.values.items():
             if spec.is_ragged:
-                layout = spec.layout
-                idx = spec.producer
-                if idx in self.kernels:
-                    layout = self.kernels[idx].output_layout
+                layout = self._kernel_layouts.get(name, spec.layout)
                 wrapped[name] = RaggedTensor(layout, flat[name],
                                              dtype=np.float32)
             else:
@@ -180,7 +213,7 @@ class CompiledProgram:
         # 4. Pre-resolve every dispatch step.
         self._steps: List[Tuple] = []
         for step_idx in self.plan.order:
-            node = program.nodes[step_idx]
+            node = work.nodes[step_idx]
             if isinstance(node, KernelNode):
                 compiled = self.kernels[step_idx]
                 buffers = {tname: flat[vname]
@@ -189,6 +222,23 @@ class CompiledProgram:
                 buffers[compiled.lowered.output_plan.spec.name] = out_flat
                 self._steps.append((_KERNEL_STEP, compiled.generated, buffers,
                                     compiled.lowered.aux_arrays, out_flat))
+            elif isinstance(node, FusedKernelNode):
+                # The emitted fused kernel addresses buffers by canonical
+                # value key (``i0``/``o0``/...), never by program value
+                # name -- so one compiled region is shared by every
+                # structurally-equal region (each layer's SDPA chain).
+                fused_compiled = self.fused_kernels[step_idx]
+                keys = Executor._fused_value_keys(node)
+                buffers = {keys[v]: flat[v]
+                           for v in (*node.inputs, *node.outputs)}
+                out_flat = flat[node.outputs[0]]
+                self._steps.append((_KERNEL_STEP, fused_compiled.generated,
+                                    buffers, fused_compiled.aux_arrays,
+                                    out_flat))
+            elif isinstance(node, FusedHostNode):
+                self._steps.append(
+                    (_HOST_STEP, self._fused_host_closure(node, flat, wrapped),
+                     (), None, None))
             else:
                 args = tuple(wrapped[o] for o in node.outputs)
                 args += tuple(wrapped[i] for i in node.inputs)
@@ -196,18 +246,67 @@ class CompiledProgram:
                            else tuple(flat[o] for o in node.outputs))
                 self._steps.append((_HOST_STEP, node.fn, args, prezero, None))
 
+        self.kernel_dispatches = sum(1 for s in self._steps
+                                     if s[0] == _KERNEL_STEP)
+        self.host_dispatches = len(self._steps) - self.kernel_dispatches
         self._input_specs = [(v.name, flat[v.name], np.dtype(v.dtype))
-                             for v in program.input_values()]
+                             for v in work.input_values()]
         self.run_count = 0
         self.total_run_s = 0.0
         self.last_run_s = 0.0
+
+    @staticmethod
+    def _fused_host_closure(node: FusedHostNode,
+                            flat: Dict[str, np.ndarray],
+                            wrapped: Dict[str, Any]) -> Callable[[], None]:
+        """One step running a fused host region's members in order.
+
+        Internalised intermediates live in step-private buffers (their
+        arena slabs no longer exist); per-member ``fills_output``
+        semantics are preserved by pre-zeroing exactly the outputs the
+        unfused dispatch would have pre-zeroed.
+        """
+        private_flat: Dict[str, np.ndarray] = {}
+        private_wrapped: Dict[str, Any] = {}
+        for spec in node.internal_specs:
+            buf = np.zeros(spec.num_elements, dtype=np.float32)
+            private_flat[spec.name] = buf
+            if spec.is_ragged:
+                private_wrapped[spec.name] = RaggedTensor(
+                    spec.layout, buf, dtype=np.float32)
+            else:
+                private_wrapped[spec.name] = buf.reshape(spec.shape)
+
+        def _wrap(name: str) -> Any:
+            return (private_wrapped[name] if name in private_wrapped
+                    else wrapped[name])
+
+        parts: List[Tuple] = []
+        for m in node.members:
+            args = tuple(_wrap(o) for o in m.outputs)
+            args += tuple(_wrap(i) for i in m.inputs)
+            prezero = (None if m.fills_output
+                       else tuple(private_flat[o] if o in private_flat
+                                  else flat[o] for o in m.outputs))
+            parts.append((m.fn, args, prezero))
+        frozen = tuple(parts)
+
+        def _fused_host() -> None:
+            for fn, args, prezero in frozen:
+                if prezero is not None:
+                    for buf in prezero:
+                        buf.fill(0.0)
+                fn(*args)
+
+        return _fused_host
 
     # -- statistics -------------------------------------------------------------
 
     @property
     def flops(self) -> int:
         """Analytically counted FLOPs of all kernel nodes per execution."""
-        return int(sum(k.flops for k in self.kernels.values()))
+        return int(sum(k.flops for k in self.kernels.values())
+                   + sum(k.flops for k in self.fused_kernels.values()))
 
     @property
     def arena_bytes(self) -> int:
@@ -217,15 +316,23 @@ class CompiledProgram:
     def naive_bytes(self) -> int:
         return self.plan.naive_bytes
 
+    def fusion_summary(self) -> Optional[Dict[str, object]]:
+        """What fusion did to this program (``None`` when unfused)."""
+        fusion = getattr(self.plan, "fusion", None)
+        return fusion.summary() if fusion is not None else None
+
     def stats(self) -> Dict[str, object]:
         node_kinds: Dict[str, int] = {}
-        for node in self.program.nodes:
+        for node in self._work.nodes:
             node_kinds[node.kind] = node_kinds.get(node.kind, 0) + 1
         return {
             "program": self.program.name,
-            "nodes": len(self.program.nodes),
+            "nodes": len(self._work.nodes),
             "node_kinds": node_kinds,
             "kernels": len(self.kernels),
+            "fused_kernels": len(self.fused_kernels),
+            "kernel_dispatches": self.kernel_dispatches,
+            "host_dispatches": self.host_dispatches,
             "runs": self.run_count,
             "total_run_s": self.total_run_s,
             "flops_per_run": self.flops,
@@ -399,13 +506,35 @@ class Session:
                  signature_capacity: int = 1024,
                  engine: Union[str, ExecutionEngine, None] = "serial",
                  inplace: bool = False,
+                 fuse: bool = False,
+                 disk_cache: Union[AOTCache, str, bool, None] = None,
                  fault_injector=None):
         #: whether the executor is session-private (passed explicitly) or
         #: the process-wide shared one -- ``reset`` only clears the kernel
         #: cache of a private executor.
         self._private_executor = executor is not None
+        #: persistent cross-process AOT kernel cache.  ``True`` uses the
+        #: default directory (``$REPRO_CACHE_DIR`` / ``~/.cache/repro``),
+        #: a path a specific one.  When requested without an explicit
+        #: executor, the session builds a *private* executor around it --
+        #: the process-wide shared executor is never mutated.
+        if disk_cache is None or disk_cache is False:
+            cache: Optional[AOTCache] = None
+        elif isinstance(disk_cache, AOTCache):
+            cache = disk_cache
+        elif disk_cache is True:
+            cache = AOTCache()
+        else:
+            cache = AOTCache(disk_cache)
+        if executor is None and cache is not None:
+            executor = Executor(backend=backend, disk_cache=cache)
+            self._private_executor = True
         self.executor = executor if executor is not None \
             else shared_executor(backend)
+        if cache is not None and self.executor.disk_cache is None:
+            # Explicit executor without a disk tier: attach the requested
+            # cache so Session(disk_cache=...) always takes effect.
+            self.executor.disk_cache = cache
         self.backend = self.executor.backend.name
         #: the session's execution engine (shared by every compiled
         #: program run through this session).  An engine passed as an
@@ -421,6 +550,8 @@ class Session:
             self.engine.fault_injector = fault_injector
         #: whether programs are planned with in-place slab sharing.
         self.inplace = bool(inplace)
+        #: whether programs are planned with kernel/host fusion.
+        self.fuse = bool(fuse)
         #: compiled programs, keyed by program uid (the program object is
         #: pinned alongside so the uid stays unique for the entry's life).
         self._programs: LRUDict = LRUDict(program_capacity)
@@ -432,6 +563,10 @@ class Session:
         self.prelude_memo_stats: Dict[str, int] = {"hits": 0, "misses": 0}
         self.program_compiles = 0
         self.program_cache_hits = 0
+        #: compiles that actually lowered at least one kernel vs compiles
+        #: served entirely from the persistent AOT disk cache.
+        self.cold_compiles = 0
+        self.disk_hit_compiles = 0
         self.run_count = 0
         #: per-raggedness-signature compiled-program hit/miss counters,
         #: recorded when callers tag ``compile`` / ``run`` with a
@@ -464,7 +599,10 @@ class Session:
 
         ``signature`` optionally tags the lookup with a caller-level
         raggedness signature (any hashable); per-signature hit/miss
-        counts accumulate in :attr:`signature_stats`.
+        counts accumulate in :attr:`signature_stats`.  A program-cache
+        miss whose every kernel was served from the persistent AOT disk
+        cache (zero lowers) still counts as a signature *hit* -- the
+        expensive work was reused, just from a previous process.
         """
         entry = self._programs.get(program.uid)
         if entry is not None:
@@ -479,12 +617,29 @@ class Session:
             # the same signature compiles cleanly.
             self.fault_injector.fire("compile", signature=signature)
         self.program_compiles += 1
-        if signature is not None:
-            self._note_signature(signature, hit=False)
+        lowers_before = self.executor.lower_count
+        disk_before = self.executor.disk_hits
         compiled = CompiledProgram(program, self.executor,
-                                   inplace=self.inplace)
+                                   inplace=self.inplace, fuse=self.fuse)
+        lowered = self.executor.lower_count - lowers_before
+        from_disk = self.executor.disk_hits - disk_before
+        aot_warm = lowered == 0 and from_disk > 0
+        if lowered > 0:
+            self.cold_compiles += 1
+        elif aot_warm:
+            self.disk_hit_compiles += 1
+        if signature is not None:
+            self._note_signature(signature, hit=aot_warm)
         self._programs.put(program.uid, (compiled, program))
         return compiled
+
+    def compiled_program(self, program: Program) -> Optional[CompiledProgram]:
+        """The cached :class:`CompiledProgram` for ``program``, if any.
+
+        Pure lookup: no counters move and nothing compiles.
+        """
+        entry = self._programs.get(program.uid)
+        return entry[0] if entry is not None else None
 
     # -- execution --------------------------------------------------------------
 
@@ -677,6 +832,8 @@ class Session:
         self.prelude_memo_stats["misses"] = 0
         self.program_compiles = 0
         self.program_cache_hits = 0
+        self.cold_compiles = 0
+        self.disk_hit_compiles = 0
         self.run_count = 0
         self.signature_stats.clear()
         self._signature_totals["hits"] = 0
@@ -718,8 +875,11 @@ class Session:
             "backend": self.backend,
             "engine": self.engine.stats(),
             "inplace": self.inplace,
+            "fuse": self.fuse,
             "program_compiles": self.program_compiles,
             "program_cache_hits": self.program_cache_hits,
+            "cold_compiles": self.cold_compiles,
+            "disk_hits": self.disk_hit_compiles,
             "runs": self.run_count,
             "cached_programs": len(self._programs),
             "prelude_memo": dict(self.prelude_memo_stats),

@@ -870,6 +870,35 @@ class BatchScheduler:
 
     # -- statistics -------------------------------------------------------------
 
+    def fusion_stats(self) -> Dict[Tuple[int, ...], Dict[str, Any]]:
+        """Per-signature dispatch/fusion info for the compiled narrow
+        programs this scheduler has served.
+
+        Each signature it has seen maps to the compiled program's kernel
+        and host dispatch counts plus (under a fusing session) the
+        planner's fusion summary -- how many regions were formed and how
+        many per-batch dispatches they eliminated.  Signatures whose
+        narrow program was never compiled (e.g. only ever dispatched
+        wide, or degraded to op-by-op) are omitted.
+        """
+        per_signature: Dict[Tuple[int, ...], Dict[str, Any]] = {}
+        for signature in self._signatures_seen:
+            program = encoder_stack_program(
+                signature, self.weights, self.config, masked=self.masked,
+                n_layers=self.n_layers, session=self.session)
+            compiled = self.session.compiled_program(program)
+            if compiled is None:
+                continue
+            info: Dict[str, Any] = {
+                "kernel_dispatches": compiled.kernel_dispatches,
+                "host_dispatches": compiled.host_dispatches,
+            }
+            summary = compiled.fusion_summary()
+            if summary is not None:
+                info["fusion"] = summary
+            per_signature[signature] = info
+        return per_signature
+
     def stats(self) -> Dict[str, Any]:
         """Scheduler throughput counters plus the session's signature reuse.
 
@@ -878,6 +907,8 @@ class BatchScheduler:
         """
         current = self._session_counters()
         return {
+            "fuse": self.session.fuse,
+            "fusion_by_signature": self.fusion_stats(),
             "pending": self.pending,
             "num_batches": self.num_batches,
             "num_completed": self.num_completed,
