@@ -641,6 +641,16 @@ class Session:
         entry = self._programs.get(program.uid)
         return entry[0] if entry is not None else None
 
+    def compiled_by_uid(self, uid: int) -> Optional["CompiledProgram"]:
+        """The cached :class:`CompiledProgram` for a program uid, if any.
+
+        Pure lookup, like :meth:`compiled_program`, but keyed by the uid
+        a caller recorded earlier -- so stats paths can inspect compiled
+        programs without holding (or rebuilding) the program objects.
+        """
+        entry = self._programs.get(uid)
+        return entry[0] if entry is not None else None
+
     # -- execution --------------------------------------------------------------
 
     def run(self, program: Program,

@@ -17,6 +17,11 @@ signatures recur.  This package provides the request-side half:
   failure isolation (split-and-retry bisection), graceful degradation
   (op-by-op and serial-engine fallbacks) and deadline enforcement, and
   demultiplexes per-request results;
+* :mod:`repro.serving.admission` -- SLO-aware admission control:
+  priority classes + earliest-deadline-first batch formation with a
+  starvation bound, the adaptive ``bucket_tolerance`` feedback
+  controller, bounded latency histograms, and the
+  :class:`SimulatedClock` for deterministic virtual-time replay;
 * :mod:`repro.serving.faults` -- the deterministic
   :class:`FaultInjector` exercising every recovery path above, and the
   structured :class:`FailedResult` terminal answer.
@@ -37,6 +42,18 @@ from repro.serving.queue import (
     TERMINAL_STATES,
     bucketed_length,
 )
+from repro.serving.admission import (
+    AdaptiveTolerance,
+    AdmissionPolicy,
+    FifoAdmission,
+    LatencyHistogram,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_STANDARD,
+    PriorityDeadlineAdmission,
+    SimulatedClock,
+    get_admission_policy,
+)
 from repro.serving.scheduler import BatchScheduler, ScheduledBatch
 
 __all__ = [
@@ -53,4 +70,14 @@ __all__ = [
     "INJECTION_POINTS",
     "FAULT_ACTIONS",
     "bucketed_length",
+    "AdmissionPolicy",
+    "FifoAdmission",
+    "PriorityDeadlineAdmission",
+    "AdaptiveTolerance",
+    "LatencyHistogram",
+    "SimulatedClock",
+    "get_admission_policy",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_STANDARD",
+    "PRIORITY_BATCH",
 ]

@@ -48,9 +48,12 @@ import numpy as np
 
 from repro.core.errors import ExecutionError
 
-#: The named injection points threaded through the stack.
+#: The named injection points threaded through the stack.  "admission"
+#: fires inside the scheduler's admission-policy selection round, so the
+#: FIFO-fallback path of a faulty policy is testable like every other
+#: recovery path.
 INJECTION_POINTS = ("compile", "run", "pipelined_worker", "process_worker",
-                    "demux")
+                    "demux", "admission")
 
 #: What a firing fault does to the call it interrupts.
 FAULT_ACTIONS = ("raise", "delay", "corrupt")

@@ -12,13 +12,22 @@ exactly-once delivery property rests on.
 
 The :class:`RequestQueue` holds requests in arrival order.  It may be
 *bounded* (``capacity``): when full, the configured shed policy decides
-who pays -- ``"reject_newest"`` turns the incoming request away, while
+who pays -- ``"reject_newest"`` turns the incoming request away;
 ``"drop_expired_first"`` first evicts already-expired pending requests
 (their compute would be wasted anyway) and only rejects the newcomer if
-no room could be reclaimed.  Shed requests are marked terminally
-(``REJECTED`` / ``TIMED_OUT``) and parked on a shed list the scheduler
-converts into structured failure results, so backpressure never silently
-loses a request.
+no room could be reclaimed; ``"shed_low_priority"`` additionally sheds
+the *lowest-priority, latest-deadline* request (the newcomer competes
+too, and is rejected only when it is itself the least valuable).  Shed
+requests are marked terminally (``REJECTED`` / ``TIMED_OUT``) and parked
+on a shed list the scheduler converts into structured failure results,
+so backpressure never silently loses a request.
+
+Requests also carry the serving-observability timestamps
+(``t_submitted`` / ``t_formed`` / ``t_executed`` / ``t_delivered``, all
+on the queue's injectable clock) the scheduler fills in as the request
+moves through its lifecycle, and an integer ``priority`` class (smaller
+= more urgent) consumed by the admission policies in
+:mod:`repro.serving.admission`.
 
 Batch *formation* policy -- how many requests to take, how to bucket
 their lengths into a raggedness signature, what to do with expired
@@ -38,7 +47,7 @@ import numpy as np
 from repro.core.errors import CoraError
 
 #: Queue shed policies for bounded capacity.
-SHED_POLICIES = ("reject_newest", "drop_expired_first")
+SHED_POLICIES = ("reject_newest", "drop_expired_first", "shed_low_priority")
 
 
 class RequestState(enum.Enum):
@@ -76,9 +85,21 @@ class Request:
     deadline: Optional[float] = None
     #: extra execution attempts the scheduler may spend after the first
     max_retries: int = 0
+    #: priority class, smaller = more urgent (see repro.serving.admission)
+    priority: int = 1
     state: RequestState = field(default=RequestState.PENDING)
     #: execution attempts spent on this request (batched or isolated)
     attempts: int = field(default=0)
+    #: selection rounds an admission policy passed this request over
+    #: (drives the starvation bound of PriorityDeadlineAdmission)
+    skips: int = field(default=0)
+    #: lifecycle timestamps on the queue's clock, filled in as the
+    #: request moves through submit -> batch formation -> execution ->
+    #: delivery; ``None`` until the stage is reached
+    t_submitted: Optional[float] = field(default=None)
+    t_formed: Optional[float] = field(default=None)
+    t_executed: Optional[float] = field(default=None)
+    t_delivered: Optional[float] = field(default=None)
 
     @property
     def length(self) -> int:
@@ -160,9 +181,31 @@ class RequestQueue:
         self.expired_dropped += dropped
         return dropped
 
+    def _shed_low_priority(self, request: Request) -> Optional[Request]:
+        """Backpressure under ``shed_low_priority``: evict the pending
+        request that is lowest-priority with the latest deadline (ties:
+        newest arrival).  The newcomer competes too; returns the victim
+        (``None`` when the newcomer itself is the victim)."""
+        inf = float("inf")
+
+        def cost(r: Request) -> tuple:
+            return (r.priority,
+                    r.deadline if r.deadline is not None else inf,
+                    r.request_id)
+
+        victim = max((*self._pending, request), key=cost)
+        if victim is request:
+            return None
+        self._pending.remove(victim)
+        victim.mark(RequestState.REJECTED)
+        self.shed.append(victim)
+        self.rejected += 1
+        return victim
+
     def submit(self, hidden: np.ndarray, *,
                deadline_s: Optional[float] = None,
-               max_retries: int = 0) -> int:
+               max_retries: int = 0,
+               priority: int = 1) -> int:
         """Enqueue one ``(length, hidden_size)`` sequence; returns its id.
 
         ``deadline_s`` is relative to now on the queue's clock.  When the
@@ -183,12 +226,18 @@ class RequestQueue:
                     f"deadline_s must be >= 0, got {deadline_s}")
             deadline = self.clock() + float(deadline_s)
         request = Request(request_id=self._next_id, hidden=hidden,
-                          deadline=deadline, max_retries=int(max_retries))
+                          deadline=deadline, max_retries=int(max_retries),
+                          priority=int(priority),
+                          t_submitted=self.clock())
         self._next_id += 1
         self.submitted += 1
         if self.capacity is not None and len(self._pending) >= self.capacity:
-            if self.shed_policy == "drop_expired_first":
+            if self.shed_policy in ("drop_expired_first",
+                                    "shed_low_priority"):
                 self._evict_expired()
+            if len(self._pending) >= self.capacity \
+                    and self.shed_policy == "shed_low_priority":
+                self._shed_low_priority(request)
             if len(self._pending) >= self.capacity:
                 request.mark(RequestState.REJECTED)
                 self.shed.append(request)
@@ -209,6 +258,40 @@ class RequestQueue:
             out.append(self._pending.popleft())
         self.popped += len(out)
         return out
+
+    def peek(self, max_requests: int) -> List[Request]:
+        """The first ``max_requests`` pending requests, arrival order,
+        without removing them (the admission policies' candidate window)."""
+        if max_requests <= 0:
+            raise ValueError(
+                f"max_requests must be positive, got {max_requests}")
+        out: List[Request] = []
+        for request in self._pending:
+            if len(out) >= max_requests:
+                break
+            out.append(request)
+        return out
+
+    def take(self, requests: Iterable[Request]) -> None:
+        """Remove specific pending requests (by identity), preserving the
+        arrival order of the rest -- the removal half of an admission
+        policy's out-of-order selection."""
+        taken = set(id(r) for r in requests)
+        if not taken:
+            return
+        kept: Deque[Request] = deque()
+        removed = 0
+        for request in self._pending:
+            if id(request) in taken:
+                removed += 1
+            else:
+                kept.append(request)
+        if removed != len(taken):
+            raise ValueError(
+                f"take() was handed {len(taken)} requests but only "
+                f"{removed} are pending")
+        self._pending = kept
+        self.popped += removed
 
     def drain_shed(self) -> List[Request]:
         """Hand over (and clear) the shed requests accumulated so far."""

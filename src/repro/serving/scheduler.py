@@ -1,14 +1,22 @@
-"""Continuous batching over the ragged program runtime, fault-tolerantly.
+"""Continuous batching over the ragged program runtime, fault-tolerantly
+and SLO-aware.
 
 The :class:`BatchScheduler` sits between individual ragged requests and
-:meth:`repro.Session.run`.  Each scheduling step it takes the next (up to)
-``max_batch_size`` pending requests in arrival order, buckets their
-lengths (``bucket_tolerance``), sorts them into a canonical slot order,
-and the resulting *raggedness signature* -- the tuple of bucketed lengths
--- selects the compiled N-layer encoder program that serves the batch.
+:meth:`repro.Session.run`.  Each scheduling step it selects up to
+``max_batch_size`` pending requests -- in arrival order by default, or
+by priority class + earliest-deadline-first within a starvation-bounded
+arrival window under ``admission="priority_edf"`` (see
+:mod:`repro.serving.admission`) -- buckets their lengths
+(``bucket_tolerance``), sorts them into a canonical slot order, and the
+resulting *raggedness signature* -- the tuple of bucketed lengths --
+selects the compiled N-layer encoder program that serves the batch.
 Recurring signatures hit the session's compiled-program cache, so no
 kernel is re-lowered, no arena re-planned, no prelude rebuilt; the
-session's per-signature hit/miss statistics quantify the reuse.
+session's per-signature hit/miss statistics quantify the reuse, and an
+optional :class:`~repro.serving.admission.AdaptiveTolerance` controller
+feeds those live hit-rate / padding-overhead statistics back into
+``bucket_tolerance`` (power-of-two steps, masked-only above 1, so the
+padding stays exact and bucket merging stays monotone).
 
 Batches execute through the session's pluggable
 :class:`~repro.core.engine.ExecutionEngine` (construct the session with
@@ -78,6 +86,7 @@ for bit.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, \
@@ -101,6 +110,13 @@ from repro.models.transformer import (
     run_encoder_layer_opbyop,
 )
 from repro.ops.projection import unpack_tokens
+from repro.serving.admission import (
+    AdaptiveTolerance,
+    AdmissionPolicy,
+    FifoAdmission,
+    LatencyHistogram,
+    get_admission_policy,
+)
 from repro.serving.faults import FailedResult, FaultInjector
 from repro.serving.queue import (
     Request,
@@ -199,8 +215,9 @@ class BatchScheduler:
     queue_capacity:
         Bound on pending requests; ``None`` (default) is unbounded.
     shed_policy:
-        Backpressure policy of a bounded queue: ``"reject_newest"`` or
-        ``"drop_expired_first"`` (see :class:`RequestQueue`).
+        Backpressure policy of a bounded queue: ``"reject_newest"``,
+        ``"drop_expired_first"``, or ``"shed_low_priority"`` (see
+        :class:`RequestQueue`).
     default_deadline_s:
         Deadline (relative seconds) applied to requests submitted
         without an explicit one; ``None`` = no deadline.
@@ -209,12 +226,51 @@ class BatchScheduler:
         attempts a poison-suspected request gets before it is failed.
     retry_backoff_s:
         Base of the exponential backoff slept before isolated retry
-        ``k`` (``retry_backoff_s * 2**k`` seconds); ``0`` disables
-        sleeping (the default -- tests and benchmarks stay fast).
+        ``k`` (``retry_backoff_s * 2**k`` seconds, capped at
+        ``max_backoff_s`` and at the request's remaining deadline);
+        ``0`` disables sleeping (the default -- tests and benchmarks
+        stay fast).
+    max_backoff_s:
+        Hard cap on a single backoff sleep, so an uncapped exponential
+        cannot park the scheduler for minutes on a deep retry.
+    sleeper:
+        How backoff sleeps happen (injectable, consistent with the
+        injectable ``clock``: tests and trace replays pass a sleeper
+        that advances a :class:`~repro.serving.admission.SimulatedClock`
+        instead of blocking).  Defaults to ``time.sleep``.
     validate_finite:
         Reject requests containing NaN/Inf values at admission.
     clock:
         Monotonic time source for deadlines (injectable for tests).
+    admission:
+        Batch-formation policy: ``"fifo"`` (arrival order -- the seed
+        behaviour, bit for bit), ``"priority_edf"``, or an
+        :class:`~repro.serving.admission.AdmissionPolicy` instance.
+    default_priority:
+        Priority class applied to requests submitted without one
+        (smaller = more urgent).
+    adaptive_tolerance:
+        Optional :class:`~repro.serving.admission.AdaptiveTolerance`
+        controller (or ``True`` for defaults) that widens/narrows
+        ``bucket_tolerance`` from the live hit-rate / padding-overhead
+        window statistics.  Widening beyond 1 requires ``masked=True``
+        (the exactness rule).
+    service_model:
+        Optional simulated per-batch service time,
+        ``f(batch) -> seconds``: after each successful batch execution
+        the scheduler advances an *advanceable* clock (one exposing
+        ``advance``, e.g. :class:`SimulatedClock`) by the model's cost,
+        so trace replays measure queueing and execution latency in
+        deterministic virtual time.  Ignored when the clock cannot
+        advance.
+    drop_doomed:
+        Shed requests at batch formation when the live per-batch
+        service-time EWMA predicts they cannot complete before their
+        deadline (resolved ``TIMED_OUT`` with zero execution attempts
+        spent).  Off by default -- the seed behaviour only drops
+        *already-expired* requests -- because it trades late completions
+        for earlier timeouts, which is the right call for goodput but
+        not for best-effort serving.
     """
 
     def __init__(self, weights, config: TransformerConfig = PAPER_BASE_CONFIG,
@@ -228,8 +284,17 @@ class BatchScheduler:
                  default_deadline_s: Optional[float] = None,
                  max_retries: int = 0,
                  retry_backoff_s: float = 0.0,
+                 max_backoff_s: float = 30.0,
+                 sleeper: Callable[[float], None] = time.sleep,
                  validate_finite: bool = False,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 admission: Union[str, AdmissionPolicy] = "fifo",
+                 default_priority: int = 1,
+                 adaptive_tolerance: Union[AdaptiveTolerance, bool,
+                                           None] = None,
+                 service_model: Optional[
+                     Callable[["ScheduledBatch"], float]] = None,
+                 drop_doomed: bool = False):
         if max_batch_size <= 0:
             raise ValueError(
                 f"max_batch_size must be positive, got {max_batch_size}")
@@ -246,9 +311,23 @@ class BatchScheduler:
         if retry_backoff_s < 0:
             raise ValueError(
                 f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        if max_backoff_s <= 0:
+            raise ValueError(
+                f"max_backoff_s must be positive, got {max_backoff_s}")
         if wide_batches <= 0:
             raise ValueError(
                 f"wide_batches must be positive, got {wide_batches}")
+        if adaptive_tolerance is True:
+            adaptive_tolerance = AdaptiveTolerance(
+                max_tolerance=16 if masked else 1)
+        elif adaptive_tolerance is False:
+            adaptive_tolerance = None
+        if adaptive_tolerance is not None \
+                and adaptive_tolerance.max_tolerance > 1 and not masked:
+            raise ValueError(
+                "adaptive tolerance may only widen buckets beyond 1 under "
+                "causal masking (padding is exact only then); pass "
+                "masked=True or cap the controller at max_tolerance=1")
         self.weights = weights
         self.config = config
         self.session = session or default_session()
@@ -263,7 +342,17 @@ class BatchScheduler:
         self.default_deadline_s = default_deadline_s
         self.max_retries = int(max_retries)
         self.retry_backoff_s = float(retry_backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self._sleep = sleeper
         self.validate_finite = bool(validate_finite)
+        self.admission = get_admission_policy(admission)
+        self.default_priority = int(default_priority)
+        self.adaptive_tolerance = adaptive_tolerance
+        self.service_model = service_model
+        self.drop_doomed = bool(drop_doomed)
+        #: EWMA of recent per-batch service time, feeding the
+        #: ``drop_doomed`` slack check; ``None`` until a batch completes.
+        self._service_ewma: Optional[float] = None
         #: lazily created single-worker pool for overlapped demultiplexing
         self._demux_pool = None
         #: lazily created serial engine for pipelined-failure retries
@@ -293,6 +382,28 @@ class BatchScheduler:
         self.wide_dispatches = 0
         self.wide_fallbacks = 0
         self.max_width_achieved = 0
+        #: SLO counters: completions delivered within / past the deadline
+        #: (no-deadline completions count as goodput), admission-policy
+        #: failures that fell back to FIFO selection, and adaptive
+        #: tolerance adjustments actually applied.
+        self.goodput_requests = 0
+        self.late_completions = 0
+        self.admission_fallbacks = 0
+        self.tolerance_adjustments = 0
+        #: requests dropped at formation because the drop_doomed slack
+        #: check predicted they could not complete before their deadline
+        self.doomed_dropped = 0
+        #: per-priority-class latency histograms (queue = submit->formed,
+        #: execute = formed->executed, total = submit->delivered),
+        #: recorded for completed requests; bounded log-bucketed
+        #: histograms, guarded by a lock (the overlap-demux worker
+        #: records concurrently with the main thread).
+        self.latency_by_priority: Dict[int, Dict[str, LatencyHistogram]] = {}
+        self._metrics_lock = threading.Lock()
+        #: window baselines for the adaptive-tolerance controller
+        self._adapt_batch = 0
+        self._adapt_tokens = (0, 0)
+        self._adapt_signatures = (0, 0)
         #: session counters at construction time -- ``stats`` reports
         #: deltas against these, so other users of a shared session
         #: (another scheduler, direct ``Session.run`` calls made before
@@ -301,6 +412,11 @@ class BatchScheduler:
         #: shows up; give each scheduler its own session to fully isolate.
         self._baseline = self._session_counters()
         self._signatures_seen: set = set()
+        #: signature -> narrow program uid, recorded when a batch's
+        #: program is (re)built, so ``fusion_stats`` can look compiled
+        #: programs up by uid without triggering a single program build.
+        #: Bounded like ``_signatures_seen``.
+        self._program_uids: Dict[Tuple[int, ...], int] = {}
 
     def _session_counters(self) -> Dict[str, int]:
         stats = self.session.stats()
@@ -315,7 +431,8 @@ class BatchScheduler:
 
     def submit(self, hidden: np.ndarray, *,
                deadline_s: Optional[float] = None,
-               max_retries: Optional[int] = None) -> int:
+               max_retries: Optional[int] = None,
+               priority: Optional[int] = None) -> int:
         """Enqueue one ``(length, hidden_size)`` request; returns its id.
 
         Admission control happens here: a malformed request (wrong
@@ -324,6 +441,8 @@ class BatchScheduler:
         poisoning a batch later.  A full bounded queue sheds per its
         policy; the shed request's id is still returned and it resolves
         to a ``REJECTED``/``TIMED_OUT`` :class:`FailedResult`.
+        ``priority`` is the request's class (smaller = more urgent),
+        consumed by priority-aware admission and shed policies.
         """
         hidden = np.asarray(hidden)
         if hidden.ndim != 2 or hidden.shape[1] != self.config.hidden_size:
@@ -338,8 +457,11 @@ class BatchScheduler:
             deadline_s = self.default_deadline_s
         if max_retries is None:
             max_retries = self.max_retries
+        if priority is None:
+            priority = self.default_priority
         request_id = self.queue.submit(hidden, deadline_s=deadline_s,
-                                       max_retries=max_retries)
+                                       max_retries=max_retries,
+                                       priority=priority)
         self._absorb_shed()
         return request_id
 
@@ -353,6 +475,8 @@ class BatchScheduler:
 
     def _record_failure(self, request: Request,
                         exc: BaseException) -> FailedResult:
+        if request.t_delivered is None:
+            request.t_delivered = self.queue.clock()
         result = FailedResult.from_exception(
             request.request_id, request.state, exc,
             attempts=request.attempts)
@@ -383,30 +507,70 @@ class BatchScheduler:
                                r.request_id))
         padded = tuple(bucketed_length(r.length, self.bucket_tolerance)
                        for r in requests)
+        now = self.queue.clock()
+        for request in requests:
+            if request.t_formed is None:
+                request.t_formed = now
         return ScheduledBatch(
             signature=padded, requests=tuple(requests),
             lengths=tuple(r.length for r in requests))
 
+    def _select(self, k: int, now: float) -> List[Request]:
+        """One admission-policy selection round, with fault isolation: a
+        policy that raises (or is made to raise via the ``admission``
+        injection point) falls back to FIFO for that round instead of
+        wedging the scheduler."""
+        injector = self._injector()
+        try:
+            if injector is not None:
+                injector.fire("admission", None)
+            return self.admission.select(self.queue, k, now)
+        except Exception:
+            self.admission_fallbacks += 1
+            return FifoAdmission().select(self.queue, k, now)
+
     def _next_batch(self) -> Optional[ScheduledBatch]:
-        """Pop and canonicalise the next batch; ``None`` when idle.
+        """Select (via the admission policy) and canonicalise the next
+        batch; ``None`` when idle.
 
         Deadline-expired requests are dropped here -- at batch-formation
         time, before any compute is spent on them -- with ``TIMED_OUT``
-        failure results; the batch keeps filling from the queue.
+        failure results; the batch keeps backfilling from the policy
+        until it is full or the queue has nothing more to offer.
         """
         self._absorb_shed()
         requests: List[Request] = []
         now = self.queue.clock()
-        while len(requests) < self.max_batch_size and len(self.queue):
-            request = self.queue.pop(1)[0]
-            if request.expired(now):
-                request.mark(RequestState.TIMED_OUT)
-                self.timed_out_requests += 1
-                self._record_failure(request, DeadlineExceeded(
-                    f"request {request.request_id} missed its deadline "
-                    "before batch formation"))
-                continue
-            requests.append(request)
+        # Slack floor for doomed-drop: a request whose deadline falls
+        # inside the (EWMA-estimated) service time of the batch it would
+        # join cannot complete on time -- executing it anyway turns a
+        # drop into a late completion and steals capacity from feasible
+        # work.  Opt-in: the seed FIFO behaviour drops only at expiry.
+        slack = self._service_ewma \
+            if self.drop_doomed and self._service_ewma is not None else 0.0
+        while len(requests) < self.max_batch_size:
+            selected = self._select(self.max_batch_size - len(requests), now)
+            if not selected:
+                break
+            for request in selected:
+                if request.expired(now):
+                    request.mark(RequestState.TIMED_OUT)
+                    self.timed_out_requests += 1
+                    self._record_failure(request, DeadlineExceeded(
+                        f"request {request.request_id} missed its deadline "
+                        "before batch formation"))
+                    continue
+                if slack and request.deadline is not None \
+                        and now + slack >= request.deadline:
+                    request.mark(RequestState.TIMED_OUT)
+                    self.timed_out_requests += 1
+                    self.doomed_dropped += 1
+                    self._record_failure(request, DeadlineExceeded(
+                        f"request {request.request_id} predicted to miss "
+                        f"its deadline (slack {request.deadline - now:.4f}s "
+                        f"< estimated service {slack:.4f}s)"))
+                    continue
+                requests.append(request)
         if not requests:
             return None
         return self._form_batch(requests)
@@ -430,6 +594,12 @@ class BatchScheduler:
         program = encoder_stack_program(
             batch.padded_lengths, self.weights, self.config,
             masked=self.masked, n_layers=self.n_layers, session=self.session)
+        # Remember which program served this signature so fusion_stats()
+        # can report on it without rebuilding anything (bounded like
+        # _signatures_seen).
+        if (batch.signature in self._program_uids
+                or len(self._program_uids) < self.session.signature_capacity):
+            self._program_uids[batch.signature] = program.uid
         packed = np.concatenate(
             batch.padded_inputs(self.config.hidden_size), axis=0)
         return self.session.run(program, {"tokens": packed},
@@ -480,6 +650,7 @@ class BatchScheduler:
         if injector is not None:
             injector.set_ambient(request_ids=frozenset(batch.request_ids),
                                  signature=batch.signature)
+        t_start = self.queue.clock()
         for request in batch.requests:
             request.attempts += 1
         try:
@@ -508,7 +679,29 @@ class BatchScheduler:
             else:
                 raise
         self._check_output(batch, out)
+        self._after_execute((batch,), t_start)
         return out
+
+    def _after_execute(self, batches: Sequence[ScheduledBatch],
+                       t_start: float) -> None:
+        """Post-execution bookkeeping shared by the narrow and wide
+        paths: advance an advanceable (simulated) clock by the
+        service-time model, stamp ``t_executed``, and fold the observed
+        per-batch service time into the EWMA the ``drop_doomed`` slack
+        check consults."""
+        if self.service_model is not None:
+            advance = getattr(self.queue.clock, "advance", None)
+            if advance is not None:
+                for batch in batches:
+                    advance(max(float(self.service_model(batch)), 0.0))
+        now = self.queue.clock()
+        for batch in batches:
+            for request in batch.requests:
+                request.t_executed = now
+        elapsed = (now - t_start) / len(batches)
+        if elapsed > 0:
+            self._service_ewma = elapsed if self._service_ewma is None \
+                else 0.2 * elapsed + 0.8 * self._service_ewma
 
     def _execute_wide(self, group: Sequence[ScheduledBatch],
                       copy_outputs: bool) -> List[np.ndarray]:
@@ -528,6 +721,7 @@ class BatchScheduler:
                 request_ids=frozenset(
                     rid for batch in group for rid in batch.request_ids),
                 signature=tuple(batch.signature for batch in group))
+        t_start = self.queue.clock()
         for batch in group:
             for request in batch.requests:
                 request.attempts += 1
@@ -548,6 +742,7 @@ class BatchScheduler:
                   for i in range(len(group))]
         for batch, out in zip(group, packed):
             self._check_output(batch, out)
+        self._after_execute(group, t_start)
         return packed
 
     def _dispatch_wide(self, group: Sequence[ScheduledBatch],
@@ -577,6 +772,89 @@ class BatchScheduler:
             self._signatures_seen.add(batch.signature)
         if self.log_batches:
             self.batch_log.append(batch)
+        self._maybe_adapt()
+
+    def _rollback_batch(self, batch: ScheduledBatch) -> None:
+        """Reverse everything :meth:`_note_batch` recorded for a batch
+        whose outputs turned out to be undeliverable, so padding-overhead
+        and throughput stats reflect only delivered batches."""
+        self.num_batches -= 1
+        self.num_completed -= len(batch.requests)
+        self.valid_tokens -= sum(batch.lengths)
+        self.padded_tokens -= sum(batch.padded_lengths)
+        if self.log_batches and self.batch_log \
+                and self.batch_log[-1] is batch:
+            self.batch_log.pop()
+
+    def _maybe_adapt(self) -> None:
+        """Close the adaptive-tolerance feedback loop.
+
+        Every ``interval`` delivered batches, compute the *window* (since
+        the previous decision) signature hit rate and padding overhead
+        and apply the controller's proposal.  Changing the tolerance only
+        affects how *future* batches bucket; already-formed batches are
+        untouched, so exactness and bit-identical replay are preserved.
+        """
+        controller = self.adaptive_tolerance
+        if controller is None:
+            return
+        self._adapt_batch += 1
+        if self._adapt_batch % controller.interval != 0:
+            return
+        counters = self._session_counters()
+        hits = counters["signature_hits"] - self._baseline["signature_hits"]
+        misses = (counters["signature_misses"]
+                  - self._baseline["signature_misses"])
+        prev_hits, prev_misses = self._adapt_signatures
+        window_hits = hits - prev_hits
+        window_misses = misses - prev_misses
+        window_lookups = window_hits + window_misses
+        hit_rate = window_hits / window_lookups if window_lookups else 1.0
+        prev_valid, prev_padded = self._adapt_tokens
+        window_valid = self.valid_tokens - prev_valid
+        window_padded = self.padded_tokens - prev_padded
+        overhead = (window_padded / window_valid - 1.0
+                    if window_valid else 0.0)
+        proposed = controller.propose(self.bucket_tolerance, hit_rate,
+                                      overhead)
+        controller.record(self.num_batches, self.bucket_tolerance, proposed,
+                          hit_rate, overhead)
+        if proposed != self.bucket_tolerance:
+            self.bucket_tolerance = proposed
+            self.tolerance_adjustments += 1
+        self._adapt_signatures = (hits, misses)
+        self._adapt_tokens = (self.valid_tokens, self.padded_tokens)
+
+    def _complete_requests(self, batch: ScheduledBatch) -> None:
+        """Mark a delivered batch's requests ``COMPLETED`` and record the
+        SLO observability: delivery timestamps, goodput / late-completion
+        counts, and per-priority-class latency histograms.  Runs on the
+        overlap worker under ``overlap_demux``, hence the lock."""
+        now = self.queue.clock()
+        with self._metrics_lock:
+            for request in batch.requests:
+                request.mark(RequestState.COMPLETED)
+                request.t_delivered = now
+                if request.deadline is not None and now > request.deadline:
+                    self.late_completions += 1
+                else:
+                    self.goodput_requests += 1
+                hists = self.latency_by_priority.setdefault(
+                    request.priority,
+                    {"queue": LatencyHistogram(),
+                     "execute": LatencyHistogram(),
+                     "total": LatencyHistogram()})
+                if request.t_submitted is not None:
+                    if request.t_formed is not None:
+                        hists["queue"].record(
+                            request.t_formed - request.t_submitted)
+                    if request.t_executed is not None:
+                        hists["execute"].record(
+                            request.t_executed
+                            - (request.t_formed
+                               if request.t_formed is not None
+                               else request.t_submitted))
+                    hists["total"].record(now - request.t_submitted)
 
     @staticmethod
     def _demux(batch: ScheduledBatch, out: np.ndarray) -> Dict[int, np.ndarray]:
@@ -602,8 +880,7 @@ class BatchScheduler:
                                 request_ids=frozenset(batch.request_ids))
         self._check_output(batch, out)
         results = self._demux(batch, out)
-        for request in batch.requests:
-            request.mark(RequestState.COMPLETED)
+        self._complete_requests(batch)
         return results
 
     def _recover_demux(self, batch: ScheduledBatch,
@@ -614,15 +891,20 @@ class BatchScheduler:
         try:
             return self._finish(batch, out)
         except Exception as exc:
-            # The batch executed but its outputs cannot be delivered:
-            # the batch-level completion accounting is rolled back and
-            # every request resolves to a structured failure.
-            self.num_completed -= len(batch.requests)
+            # The batch executed but its outputs cannot be delivered: all
+            # of the batch-level accounting (_note_batch) is rolled back
+            # -- not just num_completed -- so padding-overhead and
+            # throughput stats stay consistent with delivered results,
+            # and only requests that are not already terminal are marked
+            # (and counted as) failed here.
+            self._rollback_batch(batch)
+            now = self.queue.clock()
             results: Dict[int, RequestResult] = {}
             for request in batch.requests:
                 if not request.state.terminal:
                     request.mark(RequestState.FAILED)
-                self.failed_requests += 1
+                    self.failed_requests += 1
+                    request.t_delivered = now
                 results[request.request_id] = FailedResult.from_exception(
                     request.request_id, request.state, exc,
                     attempts=request.attempts)
@@ -641,8 +923,7 @@ class BatchScheduler:
         (the synchronous path used during isolation re-runs)."""
         self._note_batch(batch)
         results = self._demux(batch, out)
-        for request in batch.requests:
-            request.mark(RequestState.COMPLETED)
+        self._complete_requests(batch)
         return results
 
     # -- failure isolation ------------------------------------------------------
@@ -677,20 +958,45 @@ class BatchScheduler:
     def _resolve_singleton(self, request: Request, batch: ScheduledBatch,
                            exc: BaseException) -> Dict[int, RequestResult]:
         """Retry an isolated failing request within its budget, then fail
-        it terminally."""
+        it terminally.
+
+        The backoff sleep is capped (``max_backoff_s``) and never sleeps
+        past the request's deadline, and the deadline is re-checked
+        *after* sleeping -- so a retry cannot wake up expired and still
+        burn an execution attempt.  The sleep goes through the injectable
+        ``sleeper``, consistent with the injectable ``clock``, so tests
+        (and the simulated-time benchmark) drive this path
+        deterministically.
+        """
+        def _timed_out() -> Dict[int, RequestResult]:
+            request.mark(RequestState.TIMED_OUT)
+            self.timed_out_requests += 1
+            request.t_delivered = self.queue.clock()
+            return {request.request_id: FailedResult.from_exception(
+                request.request_id, request.state,
+                DeadlineExceeded(
+                    f"request {request.request_id} missed its deadline "
+                    f"during retries (last error: {exc})"),
+                attempts=request.attempts)}
+
         retries_done = 0
         while retries_done < request.max_retries:
-            if request.expired(self.queue.clock()):
-                request.mark(RequestState.TIMED_OUT)
-                self.timed_out_requests += 1
-                return {request.request_id: FailedResult.from_exception(
-                    request.request_id, request.state,
-                    DeadlineExceeded(
-                        f"request {request.request_id} missed its deadline "
-                        f"during retries (last error: {exc})"),
-                    attempts=request.attempts)}
+            now = self.queue.clock()
+            if request.expired(now):
+                return _timed_out()
             if self.retry_backoff_s > 0:
-                time.sleep(self.retry_backoff_s * (2 ** retries_done))
+                backoff = min(self.retry_backoff_s * (2 ** retries_done),
+                              self.max_backoff_s)
+                if request.deadline is not None:
+                    backoff = min(backoff,
+                                  max(request.deadline - now, 0.0))
+                if backoff > 0:
+                    self._sleep(backoff)
+                # Re-check after sleeping: if the deadline passed while
+                # we were backing off, resolve TIMED_OUT without another
+                # execution attempt.
+                if request.expired(self.queue.clock()):
+                    return _timed_out()
             retries_done += 1
             self.retries += 1
             self.isolation_runs += 1
@@ -702,6 +1008,7 @@ class BatchScheduler:
             return self._deliver(batch, out)
         request.mark(RequestState.FAILED)
         self.failed_requests += 1
+        request.t_delivered = self.queue.clock()
         return {request.request_id: FailedResult.from_exception(
             request.request_id, request.state, exc,
             attempts=request.attempts)}
@@ -879,14 +1186,16 @@ class BatchScheduler:
         planner's fusion summary -- how many regions were formed and how
         many per-batch dispatches they eliminated.  Signatures whose
         narrow program was never compiled (e.g. only ever dispatched
-        wide, or degraded to op-by-op) are omitted.
+        wide, degraded to op-by-op, or since evicted from the session's
+        program cache) are omitted.
+
+        Pure lookup: the program uids recorded at dispatch time are
+        resolved against the session's cache, so calling this triggers
+        zero program builds and zero compiles.
         """
         per_signature: Dict[Tuple[int, ...], Dict[str, Any]] = {}
-        for signature in self._signatures_seen:
-            program = encoder_stack_program(
-                signature, self.weights, self.config, masked=self.masked,
-                n_layers=self.n_layers, session=self.session)
-            compiled = self.session.compiled_program(program)
+        for signature, uid in self._program_uids.items():
+            compiled = self.session.compiled_by_uid(uid)
             if compiled is None:
                 continue
             info: Dict[str, Any] = {
@@ -899,16 +1208,27 @@ class BatchScheduler:
             per_signature[signature] = info
         return per_signature
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, include_fusion: bool = False) -> Dict[str, Any]:
         """Scheduler throughput counters plus the session's signature reuse.
 
         The session-derived counters are deltas since this scheduler was
         constructed, so earlier activity on a shared session is excluded.
+        ``include_fusion=True`` adds the per-signature
+        ``fusion_by_signature`` breakdown (still zero program builds --
+        see :meth:`fusion_stats` -- but potentially large); the default
+        keeps ``stats()`` cheap enough to poll per batch.
         """
         current = self._session_counters()
-        return {
+        with self._metrics_lock:
+            latency_by_priority = {
+                priority: {kind: hist.summary()
+                           for kind, hist in hists.items()}
+                for priority, hists in sorted(
+                    self.latency_by_priority.items())}
+            goodput_requests = self.goodput_requests
+            late_completions = self.late_completions
+        out = {
             "fuse": self.session.fuse,
-            "fusion_by_signature": self.fusion_stats(),
             "pending": self.pending,
             "num_batches": self.num_batches,
             "num_completed": self.num_completed,
@@ -937,9 +1257,21 @@ class BatchScheduler:
                 "max_inflight", 0),
             "shed_rejected": self.queue.rejected,
             "shed_expired": self.queue.expired_dropped,
+            # SLO-aware serving counters
+            "admission": self.admission.name,
+            "bucket_tolerance": self.bucket_tolerance,
+            "goodput_requests": goodput_requests,
+            "late_completions": late_completions,
+            "admission_fallbacks": self.admission_fallbacks,
+            "tolerance_adjustments": self.tolerance_adjustments,
+            "doomed_dropped": self.doomed_dropped,
+            "latency_by_priority": latency_by_priority,
             **{key: current[key] - self._baseline[key]
                for key in current},
         }
+        if include_fusion:
+            out["fusion_by_signature"] = self.fusion_stats()
+        return out
 
 
 def _queue_full_error(queue: RequestQueue):

@@ -355,7 +355,7 @@ class TestFusionIntegration:
             scheduler.submit(rng.standard_normal(
                 (n, SMALL.hidden_size)).astype(np.float32))
         scheduler.drain()
-        stats = scheduler.stats()
+        stats = scheduler.stats(include_fusion=True)
         assert stats["fuse"] is True
         assert stats["fusion_by_signature"]
         for info in stats["fusion_by_signature"].values():
