@@ -200,6 +200,87 @@ def run_benchmark(smoke: bool = False) -> dict:
             "quantify its price"),
     }
 
+    # IPC message-batching A/B: the same widest fused program through a
+    # pool running the pre-batching protocol (one queue message per
+    # step, batch_dispatch=False) vs the batched ready-set dispatch the
+    # sweep above used.  The delta prices the per-message IPC overhead
+    # the batching amortises.
+    k = max(ks)
+    groups, inputs = _groups(k, per_group, config, seed=40 + k,
+                             low=low, high=high)
+    engines_ab = {}
+    for mode in (True, False):
+        eng = ProcessPoolEngine(max_workers=workers, batch_dispatch=mode)
+        sess = Session(backend="vector", engine=eng)
+        eng.warm_up()
+        engines_ab[mode] = (eng, sess)
+    wide_ab = {mode: encoder_wide_program(groups, weights, config,
+                                          masked=True, n_layers=n_layers,
+                                          session=sess)
+               for mode, (eng, sess) in engines_ab.items()}
+    info = wide_ab[True].merge_info
+    if info is not None:
+        bound = {info.input_name(i, "tokens"): packed
+                 for i, packed in enumerate(inputs)}
+        out_names = [info.output_name(i, "out_tokens") for i in range(k)]
+    else:
+        bound = {"tokens": inputs[0]}
+        out_names = ["out_tokens"]
+    refs = []
+    for lengths, packed in zip(groups, inputs):
+        program = encoder_stack_program(lengths, weights, config,
+                                        masked=True, n_layers=n_layers,
+                                        session=serial)
+        refs.append(serial.run(program, {"tokens": packed})["out_tokens"])
+    identical = {}
+    for mode, (eng, sess) in engines_ab.items():
+        outs = sess.run(wide_ab[mode], bound)  # warm: compile + install
+        identical[mode] = all(np.array_equal(outs[name], ref)
+                              for name, ref in zip(out_names, refs))
+    # Interleave A/B per repeat (alternating order) so both protocols
+    # see the same host load and neither benefits from going second.
+    times = {True: [], False: []}
+    for it in range(max(repeats, 5)):
+        order = (True, False) if it % 2 == 0 else (False, True)
+        for mode in order:
+            eng, sess = engines_ab[mode]
+            t0 = time.perf_counter()
+            sess.run(wide_ab[mode], bound, copy_outputs=False)
+            times[mode].append((time.perf_counter() - t0) * 1e3)
+    batched_p50 = float(np.median(times[True]))
+    unbatched_p50 = float(np.median(times[False]))
+    unbatched_identical = identical[True] and identical[False]
+    unbatched_engine, unbatched = engines_ab[False]
+    n_steps = len(unbatched.compile(wide_ab[False]).plan.order)
+    payload["ipc_batching"] = {
+        "k": k,
+        "steps": n_steps,
+        "batched_p50_ms": batched_p50,
+        "unbatched_p50_ms": unbatched_p50,
+        "batched_us_per_step": batched_p50 * 1e3 / n_steps,
+        "unbatched_us_per_step": unbatched_p50 * 1e3 / n_steps,
+        "saved_us_per_step": (unbatched_p50 - batched_p50) * 1e3 / n_steps,
+        "speedup": unbatched_p50 / batched_p50,
+        "bit_identical": bool(unbatched_identical),
+        "note": (
+            "batching collapses a burst of R ready steps into "
+            "ceil(R / max_workers)-step messages per idle worker; the "
+            "saving scales with how often the ready set outruns the "
+            "whole pool, so at modest K (or on a contended host where "
+            "the ready set stays small) the two protocols converge and "
+            "the delta sits inside run noise"),
+    }
+    rows.append("")
+    rows.append(format_row(
+        [k, "process-1msg", unbatched_p50,
+         k * per_group / (unbatched_p50 / 1e3), n_steps,
+         payload["ipc_batching"]["unbatched_us_per_step"],
+         unbatched_engine.stats().get("max_inflight", 1),
+         "yes" if unbatched_identical else "NO"], _WIDTHS))
+    for eng, sess in engines_ab.values():
+        sess.close()
+        eng.close()
+
     write_result("bench_wide", rows)
     write_json_result("bench_wide", payload)
     if not smoke:
@@ -240,9 +321,13 @@ def main(argv=None) -> int:
                 assert fused < singles, (
                     f"K={k}: fused arena {fused} not below K x single "
                     f"{singles}")
+        assert payload["ipc_batching"]["bit_identical"], (
+            "batch_dispatch=False: fused output != per-request serial "
+            "reference")
         print("smoke checks passed: fused outputs bit-identical on all "
-              "engines, process max_inflight >= min(K, workers), "
-              "arena(fused K) < K x arena(single)")
+              "engines (batched and unbatched dispatch), process "
+              "max_inflight >= min(K, workers), arena(fused K) < K x "
+              "arena(single)")
     return 0
 
 

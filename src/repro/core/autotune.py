@@ -1,0 +1,326 @@
+"""Cost-model-guided schedule autotuning.
+
+The search driver over the :mod:`repro.core.tunespace` spaces.  For one
+``(op, raggedness signature)`` pair the tuner:
+
+1. **prunes analytically** -- every candidate point is described as a
+   cost-model workload (``launch_fn``) and ranked by
+   :func:`repro.substrates.costmodel.rank_workloads`, so only the
+   ``top_k`` analytically promising points (plus the default) are ever
+   measured;
+2. **measures** the survivors on the real
+   :class:`~repro.core.executor.Executor` (median wall time of warm
+   dispatches, the compile excluded);
+3. **verifies bit-identity**: a candidate is only eligible if its output
+   matches the default schedule's output exactly (``np.array_equal``
+   per valid slice).  A faster-but-different schedule is a bug, not a
+   win;
+4. **refines epsilon-greedily** (AMOS-style): mutate one knob of the
+   incumbent at a time for ``refine_iters`` rounds, keeping strict
+   measured improvements;
+5. **persists** the winner to a :class:`~repro.core.scheduledb.ScheduleDB`
+   keyed by ``(op, raggedness bucket, backend)``.
+
+The default point is kept unless a candidate is *strictly* faster, and
+a kept default reports ``tuned_s == default_s`` -- so "tuned is never
+slower than the hand-picked schedule" holds by construction, per
+measurement noise included.
+
+Chain-level knobs (today: the encoder's planner-fusion on/off) have no
+single schedule to hand the executor; :meth:`AutoTuner.tune_chain`
+measures them through warm ``Session`` dispatches of the full encoder
+stack instead, with the same strict bit-identity + strictly-faster
+acceptance rule.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.scheduledb import ScheduleDB
+from repro.core.tunespace import (
+    TunePoint,
+    TuneSpace,
+    get_tune_op,
+    raggedness_bucket,
+)
+from repro.substrates.costmodel import rank_workloads
+
+
+@dataclass
+class TuneResult:
+    """The outcome of tuning one ``(op, signature)`` pair."""
+
+    op: str
+    bucket: Tuple[int, ...]
+    backend: str
+    point: TunePoint
+    default_point: TunePoint
+    tuned_s: float
+    default_s: float
+    bit_identical: bool
+    iterations: int
+    source: str  # "search" when a non-default point won, else "default"
+    measured: Dict[Tuple, float] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional speedup over the default (0.0 when the default won)."""
+        if self.default_s <= 0:
+            return 0.0
+        return 1.0 - self.tuned_s / self.default_s
+
+    def to_entry(self) -> Dict[str, object]:
+        return {
+            "op": self.op,
+            "bucket": [int(b) for b in self.bucket],
+            "backend": self.backend,
+            "point": self.point.to_json(),
+            "default_point": self.default_point.to_json(),
+            "tuned_s": float(self.tuned_s),
+            "default_s": float(self.default_s),
+            "improvement": float(self.improvement),
+            "bit_identical": bool(self.bit_identical),
+            "iterations": int(self.iterations),
+            "source": self.source,
+        }
+
+
+class AutoTuner:
+    """Greedy + epsilon-greedy schedule search over registered tune spaces.
+
+    Bind it to a :class:`~repro.core.session.Session` (preferred -- the
+    tuner then measures through the session's executor, so tuned kernels
+    land in the session's AOT disk cache and a later ``tune="load"``
+    process starts with zero lowerings) or to a bare ``Executor``.
+    """
+
+    def __init__(self, session=None, executor=None, db: Optional[ScheduleDB] = None,
+                 device=None, top_k: int = 4, refine_iters: int = 6,
+                 repeats: int = 5, seed: int = 0, max_candidates: int = 32):
+        if executor is None and session is not None:
+            executor = session.executor
+        if executor is None:
+            from repro.core.executor import Executor
+            executor = Executor(backend="vector")
+        self.session = session
+        self.executor = executor
+        self.db = db if db is not None else getattr(session, "schedule_db", None)
+        if device is None:
+            from repro.substrates.device import intel_cpu
+            device = intel_cpu()
+        self.device = device
+        self.top_k = int(top_k)
+        self.refine_iters = int(refine_iters)
+        self.repeats = max(int(repeats), 1)
+        self.seed = int(seed)
+        self.max_candidates = int(max_candidates)
+        self.rng = random.Random(seed)
+        #: Total schedules actually measured across all tune calls.
+        self.iterations = 0
+        self.results: List[TuneResult] = []
+
+    # -- measurement ---------------------------------------------------------
+
+    def _time_dispatch(self, run) -> float:
+        """Median warm wall time of ``run()`` over ``repeats`` dispatches."""
+        times = []
+        for _ in range(self.repeats):
+            t0 = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - t0)
+        return float(statistics.median(times))
+
+    def _measure_schedule(self, schedule, inputs) -> Tuple[object, float]:
+        out, _ = self.executor.build_and_run(schedule, inputs)  # compile/warm
+        secs = self._time_dispatch(
+            lambda: self.executor.build_and_run(schedule, inputs))
+        self.iterations += 1
+        return out, secs
+
+    @staticmethod
+    def _identical(a, b, batch: int) -> bool:
+        try:
+            return all(np.array_equal(a.valid_slice(i), b.valid_slice(i))
+                       for i in range(batch))
+        except Exception:
+            return False
+
+    # -- op-level tuning -----------------------------------------------------
+
+    def tune_op(self, op: str, lengths: Sequence[int], **ctx) -> TuneResult:
+        """Search the registered space of ``op`` for this signature.
+
+        ``ctx`` is forwarded to the op's space/build/launch/inputs
+        callbacks (e.g. ``heads=, head_size=, scale=`` for the attention
+        gemms) -- pass the *production* values so the tuned kernels the
+        measurement stores in the AOT cache are the ones the real
+        programs will load.
+        """
+        spec = get_tune_op(op)
+        if spec.kind != "op" or spec.build_fn is None or spec.inputs_fn is None:
+            raise ValueError(
+                f"op {op!r} is not measurable at the op level "
+                f"(kind={spec.kind!r}); use tune_chain for chain knobs")
+        lengths = tuple(int(s) for s in lengths)
+        bucket = raggedness_bucket(lengths)
+        backend = self.executor.backend.name
+        space: TuneSpace = spec.space_fn(lengths=lengths, **ctx)
+        inputs = spec.inputs_fn(lengths, np.random.default_rng(self.seed),
+                                **ctx)
+        batch = len(lengths)
+
+        default_point = space.default
+        default_schedule = spec.build_fn(default_point, lengths, **ctx)
+        default_out, default_s = self._measure_schedule(default_schedule,
+                                                        inputs)
+        iterations = 1
+        measured: Dict[TunePoint, float] = {default_point: default_s}
+        best_point, best_s = default_point, default_s
+
+        def consider(point: TunePoint) -> None:
+            nonlocal best_point, best_s, iterations
+            if point in measured or not space.contains(point):
+                return
+            schedule = spec.build_fn(point, lengths, **ctx)
+            if schedule is default_schedule:
+                # Memoized builders return the identical object for
+                # points that degenerate to the default (e.g. tile=0
+                # with remap toggled) -- nothing new to measure.
+                measured[point] = default_s
+                return
+            out, secs = self._measure_schedule(schedule, inputs)
+            iterations += 1
+            measured[point] = secs
+            if secs < best_s and self._identical(out, default_out, batch):
+                best_point, best_s = point, secs
+
+        candidates = space.enumerate()
+        if len(candidates) > self.max_candidates:
+            candidates = space.sample(self.rng, self.max_candidates)
+
+        # Analytical pruning: measure only the cost model's top-k picks.
+        if spec.launch_fn is not None:
+            workloads = [spec.launch_fn(p, lengths, **ctx)
+                         for p in candidates]
+            order = rank_workloads(workloads, self.device)
+            shortlist = [candidates[i] for i in order[:self.top_k]]
+        else:
+            shortlist = candidates[:self.top_k]
+        for point in shortlist:
+            consider(point)
+
+        # Epsilon-greedy refinement around the incumbent.
+        for _ in range(self.refine_iters):
+            point = space.neighbor(best_point, self.rng)
+            if point in measured:
+                point = space.neighbor(
+                    self.rng.choice(list(measured)), self.rng)
+            consider(point)
+
+        if best_point == default_point:
+            best_s = default_s  # tuned IS the default: never slower
+        result = TuneResult(
+            op=op, bucket=bucket, backend=backend, point=best_point,
+            default_point=default_point, tuned_s=best_s,
+            default_s=default_s, bit_identical=True, iterations=iterations,
+            source="default" if best_point == default_point else "search",
+            measured={p.key(): s for p, s in measured.items()})
+        self._record(result)
+        return result
+
+    # -- chain-level tuning --------------------------------------------------
+
+    def tune_chain(self, lengths: Sequence[int], weights, config,
+                   masked: bool = True, n_layers: Optional[int] = None,
+                   backend: Optional[str] = None,
+                   disk_cache=None) -> TuneResult:
+        """Tune the encoder chain's knobs (planner fusion on/off) for one
+        signature by measuring warm full-program dispatches.
+
+        Each candidate gets its own throwaway ``Session`` sharing the
+        bound session's backend and AOT disk cache, so every kernel the
+        winner needs is persisted for later ``tune="load"`` processes.
+        """
+        from repro.core.session import Session
+        from repro.models.transformer import encoder_stack_program
+
+        spec = get_tune_op("encoder_chain")
+        space = spec.space_fn(lengths=lengths)
+        lengths = tuple(int(s) for s in lengths)
+        bucket = raggedness_bucket(lengths)
+        if backend is None:
+            backend = self.executor.backend.name
+        if disk_cache is None and self.session is not None \
+                and self.executor.disk_cache is not None:
+            disk_cache = str(self.executor.disk_cache.root)
+
+        rng = np.random.default_rng(self.seed)
+        tokens = rng.standard_normal(
+            (sum(lengths), config.hidden_size)).astype(np.float32)
+
+        default_point = space.default
+        measured: Dict[TunePoint, float] = {}
+        outputs: Dict[TunePoint, np.ndarray] = {}
+        iterations = 0
+        for point in space.enumerate():
+            session = Session(backend=backend, fuse=bool(point["fuse"]),
+                              disk_cache=disk_cache)
+            try:
+                program = encoder_stack_program(
+                    lengths, weights, config, masked=masked,
+                    n_layers=n_layers, session=session)
+                run = lambda: session.run(program, {"tokens": tokens},
+                                          signature=lengths)
+                out = run()  # compile + warm
+                outputs[point] = np.asarray(out["out_tokens"]).copy()
+                measured[point] = self._time_dispatch(run)
+                iterations += 1
+                self.iterations += 1
+            finally:
+                session.close()
+
+        default_s = measured[default_point]
+        default_out = outputs[default_point]
+        best_point, best_s = default_point, default_s
+        for point, secs in measured.items():
+            if point == default_point:
+                continue
+            if secs < best_s and np.array_equal(outputs[point], default_out):
+                best_point, best_s = point, secs
+        if best_point == default_point:
+            best_s = default_s
+        result = TuneResult(
+            op="encoder_chain", bucket=bucket, backend=backend,
+            point=best_point, default_point=default_point, tuned_s=best_s,
+            default_s=default_s, bit_identical=True, iterations=iterations,
+            source="default" if best_point == default_point else "search",
+            measured={p.key(): s for p, s in measured.items()})
+        self._record(result)
+        return result
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _record(self, result: TuneResult) -> None:
+        self.results.append(result)
+        if self.db is not None:
+            self.db.put(result.op, result.bucket, result.backend,
+                        result.to_entry())
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "iterations": self.iterations,
+            "tuned": sum(1 for r in self.results if r.source == "search"),
+            "kept_default": sum(1 for r in self.results
+                                if r.source == "default"),
+            "results": len(self.results),
+        }
+
+
+__all__ = ["AutoTuner", "TuneResult"]

@@ -361,9 +361,11 @@ def _process_worker_main(worker_id: int, task_q, result_q) -> None:
     *locally* (same deterministic planner, verified by fingerprint
     against the parent's plan), with arena slabs and input staging
     buffers mapped onto the parent's shared-memory segment -- so a
-    ``("run", key, step, seq)`` message executes the exact step the
-    parent would have, writing the same bytes into the same (shared)
-    buffers.
+    ``("run", key, steps, seq)`` message executes exactly the steps the
+    parent would have, in plan order, writing the same bytes into the
+    same (shared) buffers.  Each step of the batch is acknowledged with
+    its own ``("done", ...)`` as it retires, so the parent can unblock
+    successors while the rest of the chunk is still running.
     """
     programs: Dict = {}
     while True:
@@ -381,12 +383,16 @@ def _process_worker_main(worker_id: int, task_q, result_q) -> None:
         elif kind == "uninstall":
             _worker_drop(programs, msg[1])
         elif kind == "install":
-            (_, key, recipe, inplace, fuse, backend, cache_dir, shm_name,
-             slab_meta, input_meta, seq) = msg
+            (_, key, recipe, inplace, fuse, backend, cache_dir, sdb_root,
+             shm_name, slab_meta, input_meta, seq) = msg
             try:
                 from repro.core.executor import shared_executor
                 from repro.core.program import build_from_recipe
                 from repro.core.session import CompiledProgram
+                from repro.core.tunespace import (
+                    activate_policy,
+                    deactivate_policy,
+                )
 
                 executor = shared_executor(backend)
                 if cache_dir is not None and (
@@ -394,6 +400,17 @@ def _process_worker_main(worker_id: int, task_q, result_q) -> None:
                         or str(executor.disk_cache.root) != cache_dir):
                     from repro.core.aotcache import AOTCache
                     executor.disk_cache = AOTCache(cache_dir)
+                # Mirror the parent's tuned-schedule policy before the
+                # recipe rebuild runs the op builders: the worker then
+                # constructs the *same* tuned schedules the parent
+                # compiled, so its kernels come straight from the shared
+                # AOT disk cache -- tuned start-up with zero search and
+                # zero extra lowerings.
+                if sdb_root is not None:
+                    from repro.core.scheduledb import ScheduleDB
+                    activate_policy(ScheduleDB(sdb_root), backend)
+                else:
+                    deactivate_policy()
                 shm = _attach_shm(shm_name)
                 slabs = [np.frombuffer(shm.buf, dtype=np.float32,
                                        count=count, offset=off)
@@ -419,15 +436,25 @@ def _process_worker_main(worker_id: int, task_q, result_q) -> None:
                 result_q.put(("installed", worker_id, key, seq, False,
                               f"{type(exc).__name__}: {exc}"))
         elif kind == "run":
-            _, key, step_idx, seq = msg
-            try:
-                compiled = programs[key][0]
-                dispatch_step(compiled._steps[step_idx])
-                result_q.put(("done", worker_id, key, step_idx, seq,
+            # ``steps`` is a tuple of ready step indices: the parent
+            # batches everything dispatchable to this worker into one
+            # queue message, amortising the per-message IPC overhead.
+            # Each step is acknowledged individually as it retires so
+            # the parent can release its successors without waiting for
+            # the rest of the chunk; a failure reports the failed step
+            # together with the unrun remainder so the parent's inflight
+            # accounting still retires every shipped step.
+            _, key, steps, seq = msg
+            for pos, step_idx in enumerate(steps):
+                try:
+                    compiled = programs[key][0]
+                    dispatch_step(compiled._steps[step_idx])
+                except BaseException as exc:
+                    result_q.put(("done", worker_id, key, steps[pos:], seq,
+                                  False, (type(exc).__name__, str(exc))))
+                    break
+                result_q.put(("done", worker_id, key, (step_idx,), seq,
                               True, None))
-            except BaseException as exc:
-                result_q.put(("done", worker_id, key, step_idx, seq,
-                              False, (type(exc).__name__, str(exc))))
 
 
 class _InstalledProgram:
@@ -475,11 +502,15 @@ class ProcessPoolEngine(ExecutionEngine):
     * arena slabs and input staging buffers live in one
       ``multiprocessing.shared_memory`` segment per installed program,
       mapped by parent and workers alike -- a **dispatch** ships just
-      ``(key, step_index, seq)`` over a queue and the completion ships
+      ``(key, step_indices, seq)`` over a queue and the completion ships
       back a few integers;
-    * the parent submits every ready step to an idle worker before
-      blocking, so a fused program with K independent chains reaches
-      ``max_inflight >= min(K, max_workers)`` deterministically.
+    * the parent submits every ready step before blocking, batching the
+      ready set into at most one queue message per idle worker
+      (``ceil(ready / idle)`` steps each; disable with
+      ``batch_dispatch=False`` for strict one-step-per-message), so a
+      fused program with K independent chains reaches
+      ``max_inflight >= min(K, max_workers)`` deterministically and the
+      per-message IPC overhead is amortised over the batch.
 
     Results are bit-identical to :class:`SerialEngine`: workers execute
     the same pre-resolved steps over the same (shared) buffers, and the
@@ -507,6 +538,11 @@ class ProcessPoolEngine(ExecutionEngine):
         ``multiprocessing`` context or start-method name; defaults to
         ``"fork"`` where available (cheap spawn, inherits warm kernel
         caches), else ``"spawn"``.
+    batch_dispatch:
+        Batch all currently-ready step indices into one queue message
+        per idle worker (default).  ``False`` restores one message per
+        step -- the pre-batching protocol, kept for A/B measurement of
+        the IPC overhead (``bench_wide.py`` records the delta).
     """
 
     name = "process"
@@ -516,7 +552,8 @@ class ProcessPoolEngine(ExecutionEngine):
 
     def __init__(self, max_workers: Optional[int] = None,
                  program_capacity: int = 8,
-                 mp_context=None) -> None:
+                 mp_context=None,
+                 batch_dispatch: bool = True) -> None:
         super().__init__()
         if max_workers is None:
             max_workers = max(2, min(8, os.cpu_count() or 2))
@@ -527,6 +564,7 @@ class ProcessPoolEngine(ExecutionEngine):
                 f"program_capacity must be >= 1, got {program_capacity}")
         self.max_workers = int(max_workers)
         self.program_capacity = int(program_capacity)
+        self.batch_dispatch = bool(batch_dispatch)
         self.max_inflight = 0
         self.installs = 0
         self.evictions = 0
@@ -704,10 +742,12 @@ class ProcessPoolEngine(ExecutionEngine):
         backend = context.executor.backend.name
         disk = context.executor.disk_cache
         cache_dir = str(disk.root) if disk is not None else None
+        sdb_root = getattr(context, "schedule_db_root", None)
         for task_q in self._task_qs:
             task_q.put(("install", key, recipe, bool(context.plan.inplace),
                         bool(getattr(context, "fuse", False)), backend,
-                        cache_dir, shm.name, slab_meta, input_meta, seq))
+                        cache_dir, sdb_root, shm.name, slab_meta,
+                        input_meta, seq))
         parent_fp = (tuple(context.plan.order),
                      tuple(context.plan.slab_elements),
                      tuple(context.plan.ready_steps),
@@ -769,6 +809,7 @@ class ProcessPoolEngine(ExecutionEngine):
             ready = deque(plan.ready_steps)
             idle = deque(range(self.max_workers))
             inflight: Dict[int, int] = {}
+            outstanding: Dict[int, int] = {}  # wid -> unretired chunk steps
             finished = 0
             peak = 0
             failed: Optional[BaseException] = None
@@ -777,21 +818,41 @@ class ProcessPoolEngine(ExecutionEngine):
             while finished < n and failed is None:
                 # Submit everything ready before blocking: a fused
                 # program's K root steps land on K workers immediately.
+                # When the ready set outruns the whole pool, each idle
+                # worker gets a ceil(ready / max_workers)-step chunk in
+                # one queue message, amortising the per-message IPC
+                # overhead.  Sizing against the pool rather than the
+                # idle set matters: a fan-out step's successors must not
+                # all pile onto the one currently-idle worker while its
+                # siblings free up a moment later -- steps held back in
+                # the ready deque go to whichever worker idles next.
                 while ready and idle and failed is None:
-                    i = ready.popleft()
-                    if injector is not None:
-                        # Named injection point "process_worker": fired
-                        # parent-side before the step is shipped, so a
-                        # fault surfaces through the engine's normal
-                        # failure path (serial retry in the scheduler).
-                        try:
-                            injector.fire("process_worker", step=i)
-                        except BaseException as exc:
-                            failed = exc
-                            break
+                    chunk_size = 1
+                    if self.batch_dispatch:
+                        chunk_size = max(
+                            1, -(-len(ready) // self.max_workers))
+                    chunk: List[int] = []
+                    while ready and len(chunk) < chunk_size:
+                        i = ready.popleft()
+                        if injector is not None:
+                            # Named injection point "process_worker":
+                            # fired parent-side before the step is
+                            # shipped, so a fault surfaces through the
+                            # engine's normal failure path (serial retry
+                            # in the scheduler).
+                            try:
+                                injector.fire("process_worker", step=i)
+                            except BaseException as exc:
+                                failed = exc
+                                break
+                        chunk.append(i)
+                    if failed is not None:
+                        break
                     wid = idle.popleft()
-                    self._task_qs[wid].put(("run", key, i, seq))
-                    inflight[i] = wid
+                    self._task_qs[wid].put(("run", key, tuple(chunk), seq))
+                    outstanding[wid] = len(chunk)
+                    for i in chunk:
+                        inflight[i] = wid
                     if len(inflight) > peak:
                         peak = len(inflight)
                 if failed is not None:
@@ -801,20 +862,29 @@ class ProcessPoolEngine(ExecutionEngine):
                 msg = self._next_result()
                 if msg[0] != "done" or msg[4] != seq:
                     continue  # stale message from an aborted earlier run
-                _, wid, _mkey, i, _mseq, ok, err = msg
-                inflight.pop(i, None)
-                idle.append(wid)
+                _, wid, _mkey, done_steps, _mseq, ok, err = msg
+                for i in done_steps:
+                    inflight.pop(i, None)
+                # The worker acknowledges chunk steps one at a time; it
+                # goes back on the idle list only once its whole chunk
+                # has retired (its task queue is FIFO, so re-dispatching
+                # earlier would just queue behind the remainder).
+                outstanding[wid] = outstanding.get(wid, 0) - len(done_steps)
+                if outstanding[wid] <= 0:
+                    outstanding.pop(wid, None)
+                    idle.append(wid)
                 if not ok:
                     failed = RuntimeError(
-                        f"process worker {wid} failed at step {i}: "
-                        f"{err[0]}: {err[1]}")
+                        f"process worker {wid} failed dispatching steps "
+                        f"{list(done_steps)}: {err[0]}: {err[1]}")
                     continue
-                finished += 1
-                self.steps_dispatched += 1
-                for j in plan.step_succs[i]:
-                    remaining[j] -= 1
-                    if remaining[j] == 0:
-                        ready.append(j)
+                for i in done_steps:
+                    finished += 1
+                    self.steps_dispatched += 1
+                    for j in plan.step_succs[i]:
+                        remaining[j] -= 1
+                        if remaining[j] == 0:
+                            ready.append(j)
 
             if failed is not None or finished != n:
                 # Drain in-flight steps before surfacing the failure:
@@ -844,7 +914,8 @@ class ProcessPoolEngine(ExecutionEngine):
             while inflight:
                 msg = self._next_result()
                 if msg[0] == "done" and msg[4] == seq:
-                    inflight.pop(msg[3], None)
+                    for i in msg[3]:
+                        inflight.pop(i, None)
         except RuntimeError:
             pass  # a worker died; the pool is already torn down
 
@@ -861,6 +932,7 @@ class ProcessPoolEngine(ExecutionEngine):
         return {
             **super().stats(),
             "max_workers": self.max_workers,
+            "batch_dispatch": self.batch_dispatch,
             "max_inflight": self.max_inflight,
             "installed_programs": len(self._installed),
             "installs": self.installs,

@@ -655,7 +655,21 @@ class Executor:
             "fused_fallbacks": self.fused_fallbacks,
             "fused_cache_hits": self.fused_cache_hits,
             "fused_fallback_reasons": dict(self.fused_fallback_reasons),
+            "schedule_memos": self._schedule_memo_stats(),
         }
+
+    @staticmethod
+    def _schedule_memo_stats() -> Dict[str, Dict[str, int]]:
+        """Hit/size/cap statistics of every registered bounded schedule
+        memo (the ops-layer ``lru_cache`` builders keyed by length-table
+        bytes).  The caps bound memory in long-running processes; the
+        sizes/hits here let benchmarks confirm the memos -- and hence the
+        executor's kernel cache keyed on schedule identity -- are working."""
+        try:
+            from repro.core.tunespace import schedule_memo_stats
+            return schedule_memo_stats()
+        except Exception:
+            return {}
 
     # -- execution --------------------------------------------------------------
 

@@ -1,0 +1,207 @@
+"""Persistent per-signature schedule database.
+
+The AOT cache (:mod:`repro.core.aotcache`) persists *compiled kernels*;
+this module persists *schedule decisions* -- which
+:class:`~repro.core.tunespace.TunePoint` won the autotuning search for
+each ``(op, raggedness-signature bucket, backend)``.  Together they make
+a fresh process start tuned with zero search on the hot path: the
+schedule DB tells the node builders which schedule to build, and the
+AOT cache serves that schedule's kernel without lowering.
+
+One JSON file (``<root>/schedules.json``) holds everything:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "entries": {
+        "attnv|8x32x128|vector|v1": {
+          "op": "attnv", "bucket": [8, 32, 128], "backend": "vector",
+          "point": {"tile": 8, "remap": true},
+          "default_point": {"tile": 0, "remap": false},
+          "tuned_s": 0.00071, "default_s": 0.00082,
+          "improvement": 0.134, "bit_identical": true,
+          "iterations": 11, "source": "search"
+        }
+      },
+      "traffic": {
+        "8x32x128": {"batches": 412, "valid": 91520, "padded": 4120}
+      }
+    }
+
+``entries`` are the tuned winners; ``traffic`` is the serving
+scheduler's live per-bucket token census (see
+``BatchScheduler(schedule_db=...)``), which :func:`ScheduleDB.top_buckets`
+orders so offline tuning prioritises the signatures that dominate real
+traffic.  Writes are atomic (temp file + ``os.replace``, the AOT-cache
+pattern) and every load/save failure degrades to an empty DB / silent
+no-op -- a corrupt schedule DB can cost performance, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aotcache import AOT_VERSION, default_cache_dir
+
+#: Autosave cadence for traffic recording (records, not batches).
+_TRAFFIC_AUTOSAVE = 32
+
+
+def _bucket_str(bucket: Sequence[int]) -> str:
+    return "x".join(str(int(b)) for b in bucket)
+
+
+class ScheduleDB:
+    """Atomic JSON store of tuned schedule points + live traffic stats."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self.traffic: Dict[str, Dict[str, int]] = {}
+        self.loads = 0
+        self.load_failures = 0
+        self.saves = 0
+        self.save_failures = 0
+        self._unsaved_traffic = 0
+        self.load()
+
+    @property
+    def path(self) -> Path:
+        return self.root / "schedules.json"
+
+    @staticmethod
+    def key(op: str, bucket: Sequence[int], backend: str) -> str:
+        """The entry key: op, bucket, backend and the payload version
+        (a version bump invalidates every stored decision)."""
+        return f"{op}|{_bucket_str(bucket)}|{backend}|v{AOT_VERSION}"
+
+    # -- persistence ---------------------------------------------------------
+
+    def load(self) -> bool:
+        """(Re)read the file; any failure leaves an empty DB."""
+        try:
+            with open(self.path, "r") as fh:
+                payload = json.load(fh)
+            if not isinstance(payload, dict) \
+                    or payload.get("version") != AOT_VERSION:
+                raise ValueError("stale or malformed schedule DB")
+            entries = payload.get("entries", {})
+            traffic = payload.get("traffic", {})
+            if not isinstance(entries, dict) or not isinstance(traffic, dict):
+                raise ValueError("malformed schedule DB sections")
+        except FileNotFoundError:
+            return False
+        except Exception:
+            self.load_failures += 1
+            return False
+        self.entries = entries
+        self.traffic = traffic
+        self.loads += 1
+        return True
+
+    def save(self) -> bool:
+        """Atomically persist; ``False`` (never raise) on failure."""
+        payload = {
+            "version": AOT_VERSION,
+            "entries": self.entries,
+            "traffic": self.traffic,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                       prefix=".schedules.", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.save_failures += 1
+            return False
+        self.saves += 1
+        self._unsaved_traffic = 0
+        return True
+
+    # -- tuned entries -------------------------------------------------------
+
+    def get(self, op: str, bucket: Sequence[int], backend: str,
+            ) -> Optional[Dict[str, object]]:
+        return self.entries.get(self.key(op, bucket, backend))
+
+    def put(self, op: str, bucket: Sequence[int], backend: str,
+            entry: Dict[str, object], save: bool = True) -> str:
+        key = self.key(op, bucket, backend)
+        stored = dict(entry)
+        stored.setdefault("op", op)
+        stored.setdefault("bucket", [int(b) for b in bucket])
+        stored.setdefault("backend", backend)
+        self.entries[key] = stored
+        if save:
+            self.save()
+        return key
+
+    # -- traffic census ------------------------------------------------------
+
+    def record_traffic(self, bucket: Sequence[int], valid_tokens: int,
+                       padded_tokens: int) -> None:
+        """Count one executed batch against its raggedness bucket.
+
+        Autosaves every ``_TRAFFIC_AUTOSAVE`` records so long-running
+        schedulers leave a census behind without an explicit save.
+        """
+        row = self.traffic.setdefault(
+            _bucket_str(bucket), {"batches": 0, "valid": 0, "padded": 0})
+        row["batches"] += 1
+        row["valid"] += int(valid_tokens)
+        row["padded"] += int(padded_tokens)
+        self._unsaved_traffic += 1
+        if self._unsaved_traffic >= _TRAFFIC_AUTOSAVE:
+            self.save()
+
+    def top_buckets(self, n: int = 8) -> List[Tuple[Tuple[int, ...], Dict[str, int]]]:
+        """The busiest raggedness buckets, by executed batches -- the
+        offline tuner's priority order."""
+        rows = sorted(self.traffic.items(),
+                      key=lambda kv: (-kv[1].get("batches", 0), kv[0]))
+        out = []
+        for key, row in rows[:n]:
+            try:
+                bucket = tuple(int(p) for p in key.split("x"))
+            except ValueError:
+                continue
+            out.append((bucket, dict(row)))
+        return out
+
+    def dominant_share(self) -> Optional[float]:
+        """Fraction of recorded batches landing in the single busiest
+        bucket (``None`` with no traffic)."""
+        total = sum(r.get("batches", 0) for r in self.traffic.values())
+        if total <= 0:
+            return None
+        top = max(r.get("batches", 0) for r in self.traffic.values())
+        return top / total
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "root": str(self.root),
+            "entries": len(self.entries),
+            "traffic_buckets": len(self.traffic),
+            "loads": self.loads,
+            "load_failures": self.load_failures,
+            "saves": self.saves,
+            "save_failures": self.save_failures,
+        }
+
+
+__all__ = ["ScheduleDB"]

@@ -28,6 +28,14 @@ from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
 from repro.core.ragged_tensor import RaggedTensor
 from repro.core.storage import RaggedLayout
 from repro.core.schedule import Schedule
+from repro.core.tunespace import (
+    TuneParam,
+    TunePoint,
+    TuneSpace,
+    applied_point,
+    register_schedule_memo,
+    register_tune_op,
+)
 from repro.models.config import PAPER_BASE_CONFIG, TransformerConfig
 from repro.ops.softmax import softmax_compiled, softmax_slices
 from repro.substrates.costmodel import KernelLaunch, Workload, gemm_flops
@@ -197,6 +205,26 @@ def qkt_compiled(q: Sequence[np.ndarray], k: Sequence[np.ndarray],
 
 
 @lru_cache(maxsize=64)
+def _qkt_split_schedule(lens_bytes: bytes, heads: int, head_size: int,
+                        scale: Optional[float], tile: int,
+                        remap: bool) -> Schedule:
+    """QK^T with the query-row vloop split by ``tile`` (guarded tail tile)
+    and optionally a sort-descending thread remap on the governing loop --
+    the same knobs the Figure 14 AttnV variants expose, made tunable."""
+    schedule = _qkt_schedule(lens_bytes, heads, head_size, scale)
+    op = schedule.operator
+    # Schedules are memoized; never mutate the shared unsplit instance.
+    schedule = Schedule(op)
+    qi = op.dims[2]
+    schedule.split(qi, int(tile))
+    if remap:
+        batch = op.dims[0]
+        schedule.parallel(batch)
+        schedule.thread_remap(batch, "sort_desc")
+    return schedule
+
+
+@lru_cache(maxsize=64)
 def _attnv_schedule(lens_bytes: bytes, heads: int, head_size: int) -> Schedule:
     """Memoized AttnV schedule (same object per problem -> kernel-cache hits)."""
     lens = np.frombuffer(lens_bytes, dtype=np.int64)
@@ -334,14 +362,17 @@ def qkt_node(program: "Program", q: str, k: str, lengths: Sequence[int],
 
     ``q`` / ``k`` name ``[batch, heads, s(b), head_size]`` ragged values;
     the output value holds the ``[batch, heads, s(b), s(b)]`` scores.
-    Reuses the memoized schedule of :func:`qkt_compiled`, so session
-    compilation hits the same executor kernel cache.
+    Reuses the memoized schedule of :func:`qkt_compiled` (or, under an
+    active tuned-schedule policy, the memoized tuned variant for this
+    raggedness bucket), so session compilation hits the same executor
+    kernel cache.
     """
     from repro.ops.softmax import attention_scores_layout
 
     lens = np.ascontiguousarray(lengths, dtype=np.int64)
-    schedule = _qkt_schedule(lens.tobytes(), int(heads), int(head_size),
-                             None if scale is None else float(scale))
+    schedule = _qkt_point_schedule(
+        applied_point("qkt", lens), lens, int(heads), int(head_size),
+        None if scale is None else float(scale))
     return program.add_kernel(name, schedule, {"Q": q, "K": k},
                               attention_scores_layout(lens, heads), out=out)
 
@@ -349,9 +380,14 @@ def qkt_node(program: "Program", q: str, k: str, lengths: Sequence[int],
 def attnv_node(program: "Program", attn: str, v: str, lengths: Sequence[int],
                heads: int, head_size: int, name: str = "attnv",
                out: Optional[str] = None) -> str:
-    """Append the AttnV kernel (``probabilities @ V``) to a program graph."""
+    """Append the AttnV kernel (``probabilities @ V``) to a program graph.
+
+    Under an active tuned-schedule policy the memoized split/remap
+    variant selected for this raggedness bucket is used instead of the
+    hand-picked default."""
     lens = np.ascontiguousarray(lengths, dtype=np.int64)
-    schedule = _attnv_schedule(lens.tobytes(), int(heads), int(head_size))
+    schedule = _attnv_point_schedule(
+        applied_point("attnv", lens), lens, int(heads), int(head_size))
     return program.add_kernel(name, schedule, {"Attn": attn, "V": v},
                               _qkv_layout(lens, int(heads), int(head_size)),
                               out=out)
@@ -640,3 +676,154 @@ def _softmax_masked_launch(lengths: np.ndarray, config: TransformerConfig,
         impl_class=impl_class,
         parallel_tasks=max(int(s.sum()) * config.num_heads, 1),
     )
+
+
+# ---------------------------------------------------------------------------
+# Tunable schedule spaces (repro.core.tunespace)
+# ---------------------------------------------------------------------------
+#
+# The attention gemms expose the schedule knobs Figure 14 evaluates by
+# hand: the query-row split tile (0 = unsplit) and the sort-descending
+# thread remap.  The default point is the hand-picked schedule the node
+# builders ship today, so the default is always a valid space member.
+
+
+def _attention_tune_space(op: str, lengths: Sequence[int] = (),
+                          **_) -> TuneSpace:
+    max_len = max((int(s) for s in lengths), default=16)
+    tiles = (0,) + tuple(t for t in (2, 4, 8, 16) if t <= max_len)
+    return TuneSpace(
+        op,
+        [TuneParam("tile", tiles), TuneParam("remap", (False, True))],
+        TunePoint({"tile": 0, "remap": False}))
+
+
+def _qkt_point_schedule(point: Optional[TunePoint], lens: np.ndarray,
+                        heads: int, head_size: int,
+                        scale: Optional[float]) -> Schedule:
+    tile = int(point.get("tile", 0)) if point is not None else 0
+    if tile:
+        return _qkt_split_schedule(lens.tobytes(), heads, head_size, scale,
+                                   tile, bool(point.get("remap", False)))
+    return _qkt_schedule(lens.tobytes(), heads, head_size, scale)
+
+
+def _attnv_point_schedule(point: Optional[TunePoint], lens: np.ndarray,
+                          heads: int, head_size: int) -> Schedule:
+    tile = int(point.get("tile", 0)) if point is not None else 0
+    if tile:
+        return _attnv_split_schedule(lens.tobytes(), heads, head_size,
+                                     tile, bool(point.get("remap", False)))
+    return _attnv_schedule(lens.tobytes(), heads, head_size)
+
+
+def _qkt_tune_build(point: TunePoint, lengths: Sequence[int],
+                    heads: int = 2, head_size: int = 8,
+                    scale: Optional[float] = None, **_) -> Schedule:
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    return _qkt_point_schedule(point, lens, int(heads), int(head_size),
+                               None if scale is None else float(scale))
+
+
+def _attnv_tune_build(point: TunePoint, lengths: Sequence[int],
+                      heads: int = 2, head_size: int = 8, **_) -> Schedule:
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    return _attnv_point_schedule(point, lens, int(heads), int(head_size))
+
+
+def _attention_tune_launch(name: str, point: TunePoint,
+                           lengths: Sequence[int], heads: int,
+                           head_size: int) -> Workload:
+    """A candidate point as a cost-model workload for analytical pruning.
+
+    Finer tiles mean more, smaller tasks (better occupancy and balance on
+    a parallel substrate, slightly more indirect-access bookkeeping); the
+    remap models as a balanced greedy assignment of the per-tile work."""
+    lens = np.asarray(lengths, dtype=np.int64)
+    s = lens.astype(np.float64)
+    max_len = int(s.max()) if s.size else 1
+    tile = int(point.get("tile", 0)) or max(max_len, 1)
+    remap = bool(point.get("remap", False))
+    flops = float((2.0 * np.square(s) * heads * head_size).sum())
+    elements = float((heads * np.square(s) + 2 * s * heads * head_size).sum())
+    works = []
+    for length in lens:
+        tiles = max(-(-int(length) // tile), 1)
+        works.extend(
+            [2.0 * min(tile, int(length)) * head_size * float(length)]
+            * tiles * heads)
+    work = np.asarray(works, dtype=np.float64)
+    kernel = KernelLaunch(
+        name=name,
+        flops=flops,
+        bytes_moved=elements * 4.0,
+        impl_class="compiler",
+        parallel_tasks=work.size,
+        task_work=work,
+        balanced=remap or tile >= max_len,
+        indirect_access_overhead=0.02 + (0.01 if tile < max_len else 0.0),
+    )
+    return Workload(name=f"{name}-tune", kernels=[kernel])
+
+
+def _qkt_tune_launch(point: TunePoint, lengths: Sequence[int],
+                     heads: int = 2, head_size: int = 8, **_) -> Workload:
+    return _attention_tune_launch("QKT", point, lengths, int(heads),
+                                  int(head_size))
+
+
+def _attnv_tune_launch(point: TunePoint, lengths: Sequence[int],
+                       heads: int = 2, head_size: int = 8, **_) -> Workload:
+    return _attention_tune_launch("AttnV", point, lengths, int(heads),
+                                  int(head_size))
+
+
+def _qkt_tune_inputs(lengths: Sequence[int], rng: np.random.Generator,
+                     heads: int = 2, head_size: int = 8,
+                     **_) -> Dict[str, RaggedTensor]:
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    heads, head_size = int(heads), int(head_size)
+    layout = _qkv_layout(lens, heads, head_size)
+    q = [rng.standard_normal((heads, int(s), head_size)).astype(np.float32)
+         for s in lens]
+    k = [rng.standard_normal((heads, int(s), head_size)).astype(np.float32)
+         for s in lens]
+    return {"Q": RaggedTensor.from_slices(layout, q),
+            "K": RaggedTensor.from_slices(layout, k)}
+
+
+def _attnv_tune_inputs(lengths: Sequence[int], rng: np.random.Generator,
+                       heads: int = 2, head_size: int = 8,
+                       **_) -> Dict[str, RaggedTensor]:
+    from repro.ops.softmax import attention_scores_layout
+
+    lens = np.ascontiguousarray(lengths, dtype=np.int64)
+    heads, head_size = int(heads), int(head_size)
+    attn = [rng.standard_normal((heads, int(s), int(s))).astype(np.float32)
+            for s in lens]
+    v = [rng.standard_normal((heads, int(s), head_size)).astype(np.float32)
+         for s in lens]
+    return {
+        "Attn": RaggedTensor.from_slices(attention_scores_layout(lens, heads),
+                                         attn),
+        "V": RaggedTensor.from_slices(_qkv_layout(lens, heads, head_size), v),
+    }
+
+
+register_schedule_memo("attention.qkt", _qkt_schedule)
+register_schedule_memo("attention.qkt_split", _qkt_split_schedule)
+register_schedule_memo("attention.attnv", _attnv_schedule)
+register_schedule_memo("attention.attnv_split", _attnv_split_schedule)
+
+register_tune_op(
+    "qkt",
+    lambda **ctx: _attention_tune_space("qkt", **ctx),
+    build_fn=_qkt_tune_build,
+    launch_fn=_qkt_tune_launch,
+    inputs_fn=_qkt_tune_inputs)
+register_tune_op(
+    "attnv",
+    lambda **ctx: _attention_tune_space("attnv", **ctx),
+    build_fn=_attnv_tune_build,
+    launch_fn=_attnv_tune_launch,
+    inputs_fn=_attnv_tune_inputs)

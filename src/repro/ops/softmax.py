@@ -29,6 +29,7 @@ from repro.core.operator import (
 from repro.core.ragged_tensor import RaggedTensor
 from repro.core.schedule import Schedule
 from repro.core.storage import RaggedLayout
+from repro.core.tunespace import register_schedule_memo
 from repro.substrates.costmodel import KernelLaunch, softmax_flops
 
 
@@ -271,6 +272,11 @@ def masked_softmax_nodes(program: "Program", scores: str,
         f"{prefix}.addmask", mask_sch, {"S": scores, "Mask": mask},
         attention_scores_layout(lens, num_heads), out=f"{prefix}.sm")
     return softmax_nodes(program, masked, lens, num_heads, prefix=prefix)
+
+
+register_schedule_memo("softmax.chain", _softmax_schedules)
+register_schedule_memo("softmax.mask", _mask_schedule)
+register_schedule_memo("softmax.causal_mask_matrix", causal_mask_matrix)
 
 
 def softmax_launch(lengths: Sequence[int], num_heads: int,

@@ -24,6 +24,7 @@ from repro.core.extents import ConstExtent, VarExtent
 from repro.core.ir import LoopVar
 from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
 from repro.core.schedule import Schedule
+from repro.core.tunespace import register_schedule_memo
 from repro.substrates.costmodel import KernelLaunch, Workload, gemm_flops
 
 
@@ -97,6 +98,9 @@ def make_trmm_schedule(n: int) -> Schedule:
             lower[r, LoopVar(axis.dim)] * dense[LoopVar(axis.dim), c], axis),
     )
     return Schedule(op)
+
+
+register_schedule_memo("trmm.schedule", make_trmm_schedule)
 
 
 def trmm_node(program: "Program", lower: str, dense: str, n: int,

@@ -27,6 +27,7 @@ from repro.core.operator import compute, input_tensor, reduce_axis, sum_reduce
 from repro.core.ragged_tensor import RaggedTensor
 from repro.core.schedule import Schedule
 from repro.core.storage import RaggedLayout
+from repro.core.tunespace import register_schedule_memo
 from repro.data.datasets import uniform_multiple_lengths
 from repro.substrates.costmodel import KernelLaunch, Workload, gemm_flops
 
@@ -165,6 +166,9 @@ def _vgemm_schedule_memo(ms_bytes: bytes, ns_bytes: bytes,
             a[bb, ii, LoopVar(axis.dim)] * b[bb, LoopVar(axis.dim), jj], axis),
     )
     return Schedule(op)
+
+
+register_schedule_memo("vgemm.schedule", _vgemm_schedule_memo)
 
 
 def vgemm_layouts(ms: Sequence[int], ns: Sequence[int], ks: Sequence[int],

@@ -160,6 +160,13 @@ class AdaptiveTolerance:
 
     * overhead above ``max_padding_overhead`` -> halve (padding is
       costing more compute than signature reuse is saving);
+    * one raggedness bucket dominating the window's traffic (share >=
+      ``dominance_hold``, reported via the optional ``dominant_share``
+      argument from a scheduler wired to a
+      :class:`~repro.core.scheduledb.ScheduleDB`) while the hit rate is
+      healthy -> hold, even if the hit rate alone would have widened:
+      the tuned schedules stored per bucket stay valid, and widening
+      would remap the dominant traffic onto an untuned bucket;
     * hit rate below ``target_hit_rate`` (and overhead in budget) ->
       double (traffic is too length-diverse for the current buckets);
     * otherwise hold.
@@ -173,7 +180,8 @@ class AdaptiveTolerance:
 
     def __init__(self, min_tolerance: int = 1, max_tolerance: int = 16,
                  interval: int = 8, target_hit_rate: float = 0.5,
-                 max_padding_overhead: float = 0.25) -> None:
+                 max_padding_overhead: float = 0.25,
+                 dominance_hold: float = 0.75) -> None:
         if min_tolerance < 1:
             raise ValueError(
                 f"min_tolerance must be >= 1, got {min_tolerance}")
@@ -190,20 +198,33 @@ class AdaptiveTolerance:
             raise ValueError(
                 f"max_padding_overhead must be >= 0, got "
                 f"{max_padding_overhead}")
+        if not 0.0 <= dominance_hold <= 1.0:
+            raise ValueError(
+                f"dominance_hold must be in [0, 1], got {dominance_hold}")
         self.min_tolerance = int(min_tolerance)
         self.max_tolerance = int(max_tolerance)
         self.interval = int(interval)
         self.target_hit_rate = float(target_hit_rate)
         self.max_padding_overhead = float(max_padding_overhead)
+        self.dominance_hold = float(dominance_hold)
         #: one entry per adjustment decision (including holds), each
         #: ``{"batch", "tolerance", "proposed", "hit_rate", "overhead"}``
         self.trajectory: List[Dict[str, Any]] = []
 
     def propose(self, current: int, hit_rate: float,
-                padding_overhead: float) -> int:
+                padding_overhead: float,
+                dominant_share: float = None) -> int:
         if padding_overhead > self.max_padding_overhead \
                 and current > self.min_tolerance:
             return max(current // 2, self.min_tolerance)
+        if dominant_share is not None \
+                and dominant_share >= self.dominance_hold:
+            # One bucket owns the window's traffic: its signature recurs
+            # by definition, so widening cannot buy much reuse -- and it
+            # would remap the dominant traffic onto a bucket with no
+            # tuned schedules.  Hold (narrowing above still applies: the
+            # padding budget is a hard constraint).
+            return current
         if hit_rate < self.target_hit_rate and current < self.max_tolerance:
             return min(max(current, 1) * 2, self.max_tolerance)
         return current

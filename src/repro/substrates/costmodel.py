@@ -214,6 +214,31 @@ class CostModel:
 
 
 # ---------------------------------------------------------------------------
+# Candidate ranking (the autotuner's analytical pruning hook)
+# ---------------------------------------------------------------------------
+
+
+def rank_workloads(workloads: Sequence[Workload],
+                   device: Optional[Device] = None) -> List[int]:
+    """Indices of ``workloads`` ordered by modelled latency (fastest first,
+    ties kept stable by input order).
+
+    This is the fast pruning stage of :mod:`repro.core.autotune`: every
+    candidate schedule point is described as a workload, ranked here, and
+    only the analytical top-k ever reach wall-clock measurement.  The
+    ranking leans on the monotonicity of the model's terms (more load
+    imbalance -> higher latency, fewer launches -> lower latency, more
+    occupancy -> lower latency), which ``tests/test_costmodel.py`` pins.
+    """
+    if device is None:
+        from repro.substrates.device import intel_cpu
+        device = intel_cpu()
+    model = CostModel(device)
+    latencies = [model.latency_ms(w) for w in workloads]
+    return sorted(range(len(workloads)), key=lambda i: (latencies[i], i))
+
+
+# ---------------------------------------------------------------------------
 # FLOP helpers shared by the operator library and the analysis module
 # ---------------------------------------------------------------------------
 

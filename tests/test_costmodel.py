@@ -9,6 +9,7 @@ from repro.substrates.costmodel import (
     Workload,
     gemm_flops,
     layernorm_flops,
+    rank_workloads,
     softmax_flops,
 )
 from repro.substrates.device import arm_cpu_8core, arm_cpu_64core, intel_cpu, v100_gpu
@@ -149,6 +150,92 @@ class TestWorkloads:
         wl = Workload(name="w", kernels=[launch(1e6), launch(2e6)])
         assert wl.total_flops() == pytest.approx(3e6)
         assert wl.total_bytes() > 0
+
+
+class TestTunerMonotonicity:
+    """The monotone relationships the autotuner's analytical pruning
+    stage (:func:`rank_workloads`) relies on: skewing per-task work at
+    constant total raises latency, exposing more parallelism never
+    raises it, and fewer launches (horizontal fusion) lowers it."""
+
+    def test_more_imbalance_higher_latency(self):
+        model = CostModel(intel_cpu())
+        total = 1.6e9
+        even = np.full(160, total / 160)
+        # Same total work concentrated on a handful of tasks.
+        skewed = np.zeros(160)
+        skewed[:4] = total / 4
+        t_even = model.kernel_seconds(
+            launch(flops=total, task_work=even, parallel_tasks=160,
+                   balanced=False), include_launch=False)
+        t_skewed = model.kernel_seconds(
+            launch(flops=total, task_work=skewed, parallel_tasks=160,
+                   balanced=False), include_launch=False)
+        assert t_skewed > t_even
+
+    def test_imbalance_monotone_in_skew(self):
+        """Progressively steeper work distributions never get faster."""
+        model = CostModel(v100_gpu())
+        total = 8e9
+        n = 320
+        times = []
+        for alpha in (0.0, 0.5, 1.0, 2.0, 4.0):
+            work = np.linspace(1.0, 1.0 + alpha, n)
+            work = work / work.sum() * total
+            times.append(model.kernel_seconds(
+                launch(flops=total, task_work=work, parallel_tasks=n,
+                       balanced=False), include_launch=False))
+        assert all(b >= a * (1 - 1e-12)
+                   for a, b in zip(times, times[1:]))
+
+    def test_latency_non_increasing_in_parallel_tasks(self):
+        model = CostModel(v100_gpu())
+        times = [model.kernel_seconds(launch(parallel_tasks=p),
+                                      include_launch=False)
+                 for p in (1, 4, 16, 64, 80, 1024)]
+        assert all(b <= a for a, b in zip(times, times[1:]))
+
+    def test_fewer_launches_lower_latency(self):
+        """Splitting one kernel's work across N launches costs (N-1)
+        extra launch overheads on the GPU."""
+        model = CostModel(v100_gpu())
+        one = Workload(name="one", kernels=[launch(flops=4e9)])
+        four = Workload(name="four", kernels=[
+            launch(flops=1e9, bytes_moved=1e9 / 100.0, name=f"k{i}")
+            for i in range(4)])
+        assert model.evaluate(four).launch_s > model.evaluate(one).launch_s
+        assert model.latency_ms(four) > model.latency_ms(one)
+
+    def test_launch_seconds_counts_groups(self):
+        """launch_s is exactly n_groups x launch_overhead_us."""
+        device = v100_gpu()
+        model = CostModel(device)
+        fused = Workload(name="f", kernels=[
+            launch(name="a", hfused_with="g"),
+            launch(name="b", hfused_with="g"),
+            launch(name="c"),
+        ])
+        assert model.evaluate(fused).launch_s == pytest.approx(
+            2 * device.launch_overhead_us * 1e-6)
+
+    def test_rank_workloads_orders_by_latency(self):
+        device = v100_gpu()
+        slow = Workload(name="slow", kernels=[launch(8e9)])
+        fast = Workload(name="fast", kernels=[launch(1e9)])
+        mid = Workload(name="mid", kernels=[launch(4e9)])
+        order = rank_workloads([slow, fast, mid], device)
+        assert order == [1, 2, 0]
+
+    def test_rank_workloads_stable_on_ties(self):
+        device = intel_cpu()
+        same = [Workload(name=f"w{i}", kernels=[launch(1e9)])
+                for i in range(4)]
+        assert rank_workloads(same, device) == [0, 1, 2, 3]
+
+    def test_rank_workloads_default_device(self):
+        order = rank_workloads([Workload(name="a", kernels=[launch(2e9)]),
+                                Workload(name="b", kernels=[launch(1e9)])])
+        assert order == [1, 0]
 
 
 class TestFlopHelpers:
